@@ -1,0 +1,90 @@
+"""Shared infrastructure for the paper-reproduction benchmarks.
+
+Every ``test_table*`` / ``test_fig*`` module regenerates one table or
+figure of the paper.  Experiments run at the profile selected by
+``REPRO_SCALE`` (default ``tiny``: horizons divided by 8, thin models) so
+the whole suite completes on CPU; the *shape* of each result — which
+model wins, how errors grow with horizon, where ablations land — is what
+is asserted and recorded.
+
+Each module writes its regenerated table to ``benchmarks/results/`` so
+EXPERIMENTS.md can cite concrete artifacts.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+from typing import Dict, Iterable, List, Sequence
+
+import numpy as np
+
+from repro.training import ExperimentResult, active_profile, run_experiment
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+#: paper horizon ladder (multivariate tables use {48, 96, 192, 384, 768})
+PAPER_HORIZONS = (48, 96, 192, 384, 768)
+
+
+def scaled_horizon(paper_pred_len: int) -> int:
+    """Map a paper horizon onto the active profile's scale."""
+    return active_profile().scaled_pred_len(paper_pred_len)
+
+
+def run_cell(
+    dataset: str,
+    model: str,
+    paper_pred_len: int,
+    univariate: bool = False,
+    seeds: Sequence[int] = (0,),
+    settings=None,
+    model_overrides: dict | None = None,
+) -> ExperimentResult:
+    """One table cell at the scaled horizon."""
+    settings = settings if settings is not None else active_profile()
+    return run_experiment(
+        dataset,
+        model,
+        pred_len=settings.scaled_pred_len(paper_pred_len),
+        settings=settings,
+        univariate=univariate,
+        seeds=seeds,
+        model_overrides=model_overrides,
+    )
+
+
+def format_table(
+    title: str,
+    rows: Iterable[Sequence[object]],
+    header: Sequence[str],
+) -> str:
+    """Fixed-width text table."""
+    rows = [list(map(str, r)) for r in rows]
+    widths = [max(len(h), *(len(r[i]) for r in rows)) if rows else len(h) for i, h in enumerate(header)]
+    lines = [title, "-" * len(title)]
+    lines.append("  ".join(h.ljust(w) for h, w in zip(header, widths)))
+    for r in rows:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(r, widths)))
+    return "\n".join(lines)
+
+
+def save_and_print(name: str, text: str) -> None:
+    """Persist a regenerated table under benchmarks/results/ and print it."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"{name}.txt"
+    path.write_text(text + "\n")
+    print(f"\n{text}\n[saved to {path}]")
+
+
+def rank_of(value: float, values: List[float]) -> int:
+    """1-based rank of ``value`` among ``values`` (smaller is better)."""
+    return 1 + sum(v < value for v in values)
+
+
+def metric_grid(results: List[ExperimentResult]) -> Dict[str, Dict[int, Dict[str, float]]]:
+    """results -> {model: {pred_len: {mse, mae}}} for easy assertions."""
+    grid: Dict[str, Dict[int, Dict[str, float]]] = {}
+    for r in results:
+        grid.setdefault(r.model, {})[r.pred_len] = {"mse": r.mse, "mae": r.mae}
+    return grid

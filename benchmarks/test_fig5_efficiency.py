@@ -1,0 +1,70 @@
+"""Fig. 5 — computation-efficiency comparison of attention mechanisms.
+
+Reproduces both panels: (a) per-forward time vs sequence length and
+(b) peak memory vs sequence length, for sliding-window (Conformer),
+full, ProbSparse (Informer), LSH (Reformer), log-sparse (LogTrans), and
+auto-correlation (Autoformer).
+
+Claims asserted (the figure's shape):
+- sliding-window attention scales ~linearly in time; full attention
+  scales clearly worse (higher log-log slope);
+- sliding-window peak memory grows far slower than full attention's;
+- at the longest length, sliding-window is the fastest (or ties).
+"""
+
+import numpy as np
+import pytest
+
+from _common import format_table, save_and_print
+from repro.eval import efficiency_table, scaling_exponent
+
+LENGTHS = [64, 128, 256, 512, 1024]
+
+
+@pytest.fixture(scope="module")
+def table():
+    return efficiency_table(lengths=LENGTHS, repeats=3)
+
+
+def test_fig5_time_and_memory(benchmark, table):
+    benchmark.pedantic(lambda: table, rounds=1, iterations=1)
+    rows = []
+    for name, points in table.items():
+        for p in points:
+            rows.append([name, p.length, f"{p.seconds * 1e3:.2f}", f"{p.peak_bytes / 1e6:.2f}"])
+    save_and_print(
+        "fig5_efficiency",
+        format_table("Fig. 5 — attention time & memory vs length", rows, ["mechanism", "L", "ms/fwd", "peak MB"]),
+    )
+
+
+def test_sliding_window_time_scales_linearly(benchmark, table):
+    benchmark.pedantic(lambda: table, rounds=1, iterations=1)
+    slope = scaling_exponent(table["sliding_window"])
+    print(f"\nsliding-window log-log time slope: {slope:.2f}")
+    assert slope < 1.6, f"sliding-window slope {slope:.2f} not ~linear"
+
+
+def test_full_attention_scales_worse(benchmark, table):
+    benchmark.pedantic(lambda: table, rounds=1, iterations=1)
+    window_slope = scaling_exponent(table["sliding_window"])
+    full_slope = scaling_exponent(table["full"])
+    print(f"\nslopes: sliding={window_slope:.2f} full={full_slope:.2f}")
+    assert full_slope > window_slope + 0.25
+
+
+def test_sliding_window_memory_flattest(benchmark, table):
+    benchmark.pedantic(lambda: table, rounds=1, iterations=1)
+    def memory_growth(points):
+        return points[-1].peak_bytes / points[0].peak_bytes
+
+    window_growth = memory_growth(table["sliding_window"])
+    full_growth = memory_growth(table["full"])
+    assert window_growth < full_growth / 3, f"window x{window_growth:.1f} vs full x{full_growth:.1f}"
+
+
+def test_sliding_window_fastest_at_longest_length(benchmark, table):
+    benchmark.pedantic(lambda: table, rounds=1, iterations=1)
+    at_max = {name: points[-1].seconds for name, points in table.items()}
+    fastest = min(at_max.values())
+    assert at_max["sliding_window"] <= 1.5 * fastest, f"at L={LENGTHS[-1]}: {at_max}"

@@ -1,0 +1,81 @@
+"""Table V — ablation of the input representation (Eqs. 1-6).
+
+Six variants of X^in are compared on ECL (high-dimensional) and ETTm1
+(low-dimensional), mirroring the paper's analysis of when multivariate
+correlation (W^R), multiscale dynamics (Gamma), and the raw series each
+matter.
+"""
+
+from dataclasses import replace
+
+import numpy as np
+import pytest
+
+from _common import format_table, run_cell, save_and_print
+from repro.training import active_profile
+
+VARIANTS = ["full", "-gamma", "-r", "-r-gamma", "-x", "-x-gamma"]
+DATASETS = ["ecl", "ettm1"]
+PAPER_HORIZONS = [96, 384]
+
+
+def _settings(dataset):
+    s = active_profile()
+    if dataset == "ecl":
+        s = replace(s, dataset_kwargs={"n_dims": 16})
+    return s
+
+
+def compute_table():
+    results = {}
+    for dataset in DATASETS:
+        for horizon in PAPER_HORIZONS:
+            for variant in VARIANTS:
+                r = run_cell(
+                    dataset,
+                    "conformer",
+                    horizon,
+                    settings=_settings(dataset),
+                    model_overrides={"input_variant": variant},
+                )
+                results[(dataset, horizon, variant)] = r
+    return results
+
+
+@pytest.fixture(scope="module")
+def table():
+    return compute_table()
+
+
+def test_table5_input_representation(benchmark, table):
+    benchmark.pedantic(lambda: table, rounds=1, iterations=1)
+    rows = [
+        [d, h, v, f"{r.mse:.4f}", f"{r.mae:.4f}"]
+        for (d, h, v), r in sorted(table.items(), key=lambda kv: (kv[0][0], kv[0][1], VARIANTS.index(kv[0][2])))
+    ]
+    save_and_print(
+        "table5_input_repr",
+        format_table("Table V — input-representation ablation", rows, ["dataset", "H", "variant", "MSE", "MAE"]),
+    )
+    assert all(np.isfinite(r.mse) for r in table.values())
+
+
+def test_full_representation_not_dominated(benchmark, table):
+    """The full X^in should be at worst mid-pack in every cell (the paper
+    finds it best overall, with variants trading places per regime)."""
+    benchmark.pedantic(lambda: table, rounds=1, iterations=1)
+    bad_cells = 0
+    for dataset in DATASETS:
+        for horizon in PAPER_HORIZONS:
+            scores = {v: table[(dataset, horizon, v)].mse for v in VARIANTS}
+            rank = 1 + sum(s < scores["full"] for s in scores.values())
+            if rank > 4:
+                bad_cells += 1
+    assert bad_cells <= 1, f"full variant near-worst in {bad_cells} cells"
+
+
+def test_every_variant_trains(benchmark, table):
+    benchmark.pedantic(lambda: table, rounds=1, iterations=1)
+    for r in table.values():
+        assert r.history is not None and len(r.history.train_loss) >= 1
+        assert r.history.train_loss[-1] <= r.history.train_loss[0] * 1.5

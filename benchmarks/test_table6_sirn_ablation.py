@@ -1,0 +1,67 @@
+"""Table VI — SIRN ablation: swapping the sliding-window attention.
+
+The paper replaces the windowed attention inside SIRN with
+Auto-Correlation, ProbSparse, LSH, log-sparse, and full attention on the
+Wind dataset, finding the full SIRN (sliding-window) best and the
+alternatives clustered closely behind.
+"""
+
+import numpy as np
+import pytest
+
+from _common import format_table, run_cell, save_and_print
+
+ATTENTIONS = {
+    "full SIRN (sliding-window)": "sliding_window",
+    "Auto-Corr": "auto_correlation",
+    "Prob-Attn": "prob_sparse",
+    "LSH-Attn": "lsh",
+    "Log-Attn": "log_sparse",
+    "Full-Attn": "full",
+}
+PAPER_HORIZONS = [48, 96]
+
+
+def compute_table():
+    results = {}
+    for horizon in PAPER_HORIZONS:
+        for label, attn in ATTENTIONS.items():
+            results[(horizon, label)] = run_cell(
+                "wind", "conformer", horizon, model_overrides={"attention_type": attn}
+            )
+    return results
+
+
+@pytest.fixture(scope="module")
+def table():
+    return compute_table()
+
+
+def test_table6_sirn_attention_swaps(benchmark, table):
+    benchmark.pedantic(lambda: table, rounds=1, iterations=1)
+    rows = [[h, label, f"{r.mse:.4f}", f"{r.mae:.4f}"] for (h, label), r in sorted(table.items())]
+    save_and_print(
+        "table6_sirn",
+        format_table("Table VI — SIRN attention ablation (Wind)", rows, ["H", "setting", "MSE", "MAE"]),
+    )
+    assert all(np.isfinite(r.mse) for r in table.values())
+
+
+def test_sliding_window_competitive(benchmark, table):
+    """Paper: full SIRN achieves the best scores; at harness scale we
+    require the sliding window to stay within 20% of the best swap."""
+    benchmark.pedantic(lambda: table, rounds=1, iterations=1)
+    for horizon in PAPER_HORIZONS:
+        scores = {label: r.mse for (h, label), r in table.items() if h == horizon}
+        window_score = scores["full SIRN (sliding-window)"]
+        best = min(scores.values())
+        assert window_score <= 1.2 * best, f"H={horizon}: sliding-window {window_score} vs best {best}"
+
+
+def test_swaps_cluster_tightly(benchmark, table):
+    """Paper's Table VI: all attention variants land close together —
+    SIRN's RNN/decomposition does the heavy lifting."""
+    benchmark.pedantic(lambda: table, rounds=1, iterations=1)
+    for horizon in PAPER_HORIZONS:
+        scores = [r.mse for (h, _), r in table.items() if h == horizon]
+        assert max(scores) <= 2.0 * min(scores)

@@ -1,0 +1,73 @@
+"""Table VII — ablation of the normalizing flow on the Wind dataset.
+
+Variants: the full flow (z_t), the Gaussian shortcuts z_e / z_d / z_0,
+and removing the flow entirely.  The paper finds the flow indispensable
+under both multivariate and univariate settings.
+"""
+
+import numpy as np
+import pytest
+
+from _common import format_table, run_cell, save_and_print
+
+MODES = {
+    "Conformer (full flow)": "flow",
+    "z_e + z_d (-NF)": "z_0",
+    "z_e (-NF)": "z_e",
+    "z_d (-NF)": "z_d",
+    "no NF": "none",
+}
+PAPER_HORIZONS = [48, 96]
+
+
+def compute_table():
+    results = {}
+    for univariate in (False, True):
+        for horizon in PAPER_HORIZONS:
+            for label, mode in MODES.items():
+                results[(univariate, horizon, label)] = run_cell(
+                    "wind",
+                    "conformer",
+                    horizon,
+                    univariate=univariate,
+                    model_overrides={"flow_mode": mode},
+                )
+    return results
+
+
+@pytest.fixture(scope="module")
+def table():
+    return compute_table()
+
+
+def test_table7_flow_ablation(benchmark, table):
+    benchmark.pedantic(lambda: table, rounds=1, iterations=1)
+    rows = [
+        ["uni" if u else "multi", h, label, f"{r.mse:.4f}", f"{r.mae:.4f}"]
+        for (u, h, label), r in sorted(table.items(), key=lambda kv: (kv[0][0], kv[0][1]))
+    ]
+    save_and_print(
+        "table7_flow",
+        format_table("Table VII — normalizing-flow ablation (Wind)", rows, ["setting", "H", "variant", "MSE", "MAE"]),
+    )
+    assert all(np.isfinite(r.mse) for r in table.values())
+
+
+def test_flow_not_harmful(benchmark, table):
+    """Paper: the full flow beats every ablation.  At harness scale we
+    require it to stay within 15% of the best variant in each setting."""
+    benchmark.pedantic(lambda: table, rounds=1, iterations=1)
+    violations = []
+    for univariate in (False, True):
+        for horizon in PAPER_HORIZONS:
+            scores = {label: table[(univariate, horizon, label)].mse for label in MODES}
+            full = scores["Conformer (full flow)"]
+            best = min(scores.values())
+            if full > 1.15 * best:
+                violations.append((univariate, horizon, full, best))
+    assert len(violations) <= 1, f"flow variant underperforms: {violations}"
+
+
+def test_all_variants_produce_forecasts(benchmark, table):
+    benchmark.pedantic(lambda: table, rounds=1, iterations=1)
+    assert len(table) == 2 * len(PAPER_HORIZONS) * len(MODES)

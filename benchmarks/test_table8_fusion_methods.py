@@ -1,0 +1,77 @@
+"""Table VIII — alternative fusions of inter-series correlation and
+temporal dependency (Methods 1-4 vs the paper's Eq. 6 default).
+
+Run on ECL (high-dim) and Exchange (low-dim): the paper observes the
+choice of fusion matters more for low-dimensional series.
+"""
+
+from dataclasses import replace
+
+import numpy as np
+import pytest
+
+from _common import format_table, run_cell, save_and_print
+from repro.training import active_profile
+
+METHODS = {"Conformer (Eq. 6)": 0, "Method 1": 1, "Method 2": 2, "Method 3": 3, "Method 4": 4}
+DATASETS = ["ecl", "exchange"]
+PAPER_HORIZON = 96
+
+
+def _settings(dataset):
+    s = active_profile()
+    if dataset == "ecl":
+        s = replace(s, dataset_kwargs={"n_dims": 16})
+    return s
+
+
+def compute_table():
+    results = {}
+    for dataset in DATASETS:
+        for label, method in METHODS.items():
+            results[(dataset, label)] = run_cell(
+                dataset,
+                "conformer",
+                PAPER_HORIZON,
+                settings=_settings(dataset),
+                model_overrides={"fusion_method": method},
+            )
+    return results
+
+
+@pytest.fixture(scope="module")
+def table():
+    return compute_table()
+
+
+def test_table8_fusion_methods(benchmark, table):
+    benchmark.pedantic(lambda: table, rounds=1, iterations=1)
+    rows = [[d, label, f"{r.mse:.4f}", f"{r.mae:.4f}"] for (d, label), r in sorted(table.items())]
+    save_and_print(
+        "table8_fusion",
+        format_table("Table VIII — fusion-method comparison", rows, ["dataset", "method", "MSE", "MAE"]),
+    )
+    assert all(np.isfinite(r.mse) for r in table.values())
+
+
+def test_default_fusion_competitive(benchmark, table):
+    """Paper: the Eq. 6 fusion is best on both datasets.  At harness
+    scale the ordering is noise-sensitive, so we require the default to
+    stay within 1.5x of the best method on every dataset."""
+    benchmark.pedantic(lambda: table, rounds=1, iterations=1)
+    for dataset in DATASETS:
+        scores = {label: table[(dataset, label)].mse for label in METHODS}
+        default = scores["Conformer (Eq. 6)"]
+        best = min(scores.values())
+        assert default <= 1.5 * best, f"{dataset}: default fusion {default} vs best {best}"
+
+
+def test_fusion_matters_somewhere(benchmark, table):
+    """The spread across methods should be non-trivial on at least one
+    dataset (the paper: 'how to fuse ... is important for LTTF')."""
+    benchmark.pedantic(lambda: table, rounds=1, iterations=1)
+    spreads = []
+    for dataset in DATASETS:
+        scores = [table[(dataset, label)].mse for label in METHODS]
+        spreads.append(max(scores) / min(scores))
+    assert max(spreads) > 1.02

@@ -1,0 +1,56 @@
+"""Attention mechanisms: linear-complexity windowed attention vs the zoo.
+
+Run:  python examples/attention_efficiency.py
+
+Reproduces the paper's two efficiency arguments interactively:
+
+1. Fig. 5 — time/memory scaling of each attention mechanism with
+   sequence length (sliding-window should scale linearly).
+2. Table VI — swap the attention inside a SIRN layer and check the
+   forecast quality barely moves: SIRN's global RNN and decomposition
+   carry the long-range signal, so the cheap local attention suffices.
+"""
+
+import numpy as np
+
+from repro import seed_everything
+from repro.eval import efficiency_table, scaling_exponent
+from repro.training import ExperimentSettings, run_experiment
+
+LENGTHS = [64, 128, 256, 512]
+
+SETTINGS = ExperimentSettings(
+    input_len=32,
+    label_len=16,
+    d_model=16,
+    n_heads=2,
+    d_ff=32,
+    n_points=1200,
+    max_epochs=3,
+    moving_avg=13,
+)
+
+
+def main():
+    seed_everything(0)
+
+    print("Part 1 — Fig. 5: scaling of attention mechanisms")
+    print(f"{'mechanism':18s}" + "".join(f"  L={length:<6}" for length in LENGTHS) + "  slope")
+    table = efficiency_table(lengths=LENGTHS, repeats=3)
+    for name, points in table.items():
+        times = "".join(f"  {p.seconds * 1e3:6.1f}ms" for p in points)
+        print(f"{name:18s}{times}  {scaling_exponent(points):5.2f}")
+    print("(slope ~1 = linear, ~2 = quadratic; sliding_window should be lowest)\n")
+
+    print("Part 2 — Table VI: swap the attention inside SIRN (Wind dataset)")
+    for attention in ["sliding_window", "full", "prob_sparse", "auto_correlation"]:
+        result = run_experiment(
+            "wind", "conformer", pred_len=8, settings=SETTINGS,
+            model_overrides={"attention_type": attention},
+        )
+        print(f"  {attention:18s} mse={result.mse:.4f} mae={result.mae:.4f}")
+    print("(scores cluster: SIRN's RNN+decomposition carries the global signal)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,62 @@
+"""Walk-forward backtesting under distribution drift.
+
+Run:  python examples/backtest_drift.py
+
+The Wind dataset switches between calm and storm regimes, so a single
+train/test split can land in a lucky regime.  Rolling-origin evaluation
+retrains at successive origins and reports the error *distribution* —
+mean, spread, worst fold, and the degradation slope — for Conformer vs
+a GRU and a DLinear anchor.
+"""
+
+import numpy as np
+
+from repro import load_dataset, seed_everything
+from repro.eval import sparkline
+from repro.training import ExperimentSettings, build_model, walk_forward
+
+SETTINGS = ExperimentSettings(
+    input_len=24,
+    label_len=12,
+    d_model=16,
+    n_heads=2,
+    d_ff=32,
+    n_points=1400,
+    max_epochs=3,
+    moving_avg=13,
+)
+PRED_LEN = 8
+MODELS = ["conformer", "gru", "dlinear"]
+
+
+def main():
+    seed_everything(0)
+    dataset = load_dataset("wind", n_points=SETTINGS.n_points)
+    print(f"Rolling-origin backtest on {dataset.name}: 3 folds, horizon {PRED_LEN}\n")
+
+    print(f"{'model':12s} {'mean mse':>9} {'std':>7} {'worst':>7} {'slope':>8}  per-fold")
+    for name in MODELS:
+        def factory(n_dims, pred_len, _name=name):
+            return build_model(_name, n_dims, n_dims, pred_len, SETTINGS)
+
+        report = walk_forward(
+            dataset,
+            factory,
+            input_len=SETTINGS.input_len,
+            pred_len=PRED_LEN,
+            n_folds=3,
+            max_epochs=SETTINGS.max_epochs,
+            learning_rate=SETTINGS.learning_rate,
+        )
+        s = report.summary()
+        mses = report.metric("mse")
+        print(
+            f"{name:12s} {s['mse_mean']:>9.4f} {s['mse_std']:>7.4f} {s['mse_worst']:>7.4f} "
+            f"{report.degradation():>+8.4f}  {sparkline(mses)} {np.round(mses, 3)}"
+        )
+
+    print("\n(slope > 0 means accuracy decays at later origins — drift sensitivity)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,90 @@
+"""Wind-power supply planning with uncertainty quantification.
+
+Run:  python examples/wind_power_uncertainty.py
+
+The paper's motivating application (§I): a wind farm must plan power
+supply ahead of time, so forecasts need *uncertainty bands*, not just
+point estimates.  This example trains Conformer on the synthetic Wind
+dataset (regime-switching, bursty), samples the normalizing-flow head,
+and builds per-level quantile bands — reproducing the Fig. 6 analysis
+that weighting the flow more (smaller lambda) widens coverage.
+"""
+
+import numpy as np
+
+from repro import load_dataset, seed_everything
+from repro.eval import BandScaler, blend_uncertainty, evaluate_bands
+from repro.tensor import Tensor, no_grad
+from repro.training import ExperimentSettings, Trainer, build_model, make_loaders
+
+SETTINGS = ExperimentSettings(
+    input_len=32,
+    label_len=16,
+    d_model=16,
+    n_heads=2,
+    d_ff=32,
+    n_points=1600,
+    max_epochs=5,
+    moving_avg=13,
+)
+PRED_LEN = 12
+
+
+def main():
+    seed_everything(0)
+
+    print("1. Loading the synthetic Wind dataset (15-min wind-farm power) ...")
+    dataset = load_dataset("wind", n_points=SETTINGS.n_points)
+    train, val, test = make_loaders(dataset, SETTINGS, PRED_LEN)
+
+    print("2. Training Conformer ...")
+    model = build_model("conformer", dataset.n_dims, dataset.n_dims, PRED_LEN, SETTINGS)
+    Trainer(model, learning_rate=1e-3, max_epochs=SETTINGS.max_epochs, verbose=True).fit(train, val)
+
+    print("3. Sampling the normalizing flow for a test batch ...")
+    x_enc, x_mark, x_dec, y_mark, y = next(iter(test))
+    model.eval()
+    with no_grad():
+        y_out, _ = model(Tensor(x_enc), Tensor(x_mark), Tensor(x_dec), Tensor(y_mark), deterministic=True)
+        h_enc = model.encoder.hidden_states()[0]
+        h_dec = model.decoder.hidden_states()[0]
+        flow_samples = model.flow.sample(h_enc, h_dec, n_samples=100)
+
+    print("4. Quantile bands at different flow weights (Fig. 6):")
+    print(f"   {'lambda':>7} {'MSE':>8} {'cover@0.9':>10} {'width@0.9':>10}")
+    for lam in (0.95, 0.9, 0.8, 0.5):
+        bands = blend_uncertainty(y_out.data, flow_samples, lam=lam, levels=(0.9,))
+        stats = evaluate_bands(bands, y)
+        print(
+            f"   {lam:>7.2f} {stats['mse']:>8.4f} {stats['coverage@0.9']:>10.3f} {stats['width@0.9']:>10.3f}"
+        )
+
+    print("5. Conformal calibration on the validation split (library extension):")
+    print("   raw flow bands under-cover because MSE training shrinks sigma;")
+    print("   a split-conformal scale per level restores target coverage.")
+    val_x, val_xm, val_xd, val_ym, val_y = next(iter(val))
+    with no_grad():
+        val_out, _ = model(Tensor(val_x), Tensor(val_xm), Tensor(val_xd), Tensor(val_ym), deterministic=True)
+        val_samples = model.flow.sample(
+            model.encoder.hidden_states()[0], model.decoder.hidden_states()[0], n_samples=100
+        )
+    val_bands = blend_uncertainty(val_out.data, val_samples, lam=0.8, levels=(0.9,))
+    scaler = BandScaler.fit(val_bands, val_y)
+    print(f"   fitted width scale @0.9: x{scaler.scales[0.9]:.1f}")
+
+    print("6. Supply-planning view: calibrated power band for the next window")
+    bands = scaler.apply(blend_uncertainty(y_out.data, flow_samples, lam=0.8, levels=(0.9,)))
+    stats = evaluate_bands(bands, y)
+    print(f"   calibrated coverage@0.9 = {stats['coverage@0.9']:.3f}")
+    target = dataset.target_index
+    for step in range(PRED_LEN):
+        lo = bands.lower[0.9][0, step, target]
+        hi = bands.upper[0.9][0, step, target]
+        point = bands.point[0, step, target]
+        truth = y[0, step, target]
+        inside = "ok " if lo <= truth <= hi else "MISS"
+        print(f"   t+{step + 1:>2}: point={point:+.2f}  band=[{lo:+.2f}, {hi:+.2f}]  truth={truth:+.2f}  {inside}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setup shim enabling legacy editable installs on offline machines.
+
+The sandbox has setuptools but no ``wheel`` package, so PEP 517 editable
+builds (which shell out to ``bdist_wheel``) fail.  ``setup.py``-based
+installs work everywhere: ``pip install -e . --no-build-isolation``.
+"""
+
+from setuptools import setup
+
+setup()

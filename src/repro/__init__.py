@@ -1,0 +1,54 @@
+"""repro — a from-scratch reproduction of Conformer (ICDE 2023):
+"Towards Long-Term Time-Series Forecasting: Feature, Pattern, and
+Distribution" (Li et al.).
+
+The package layers:
+
+- :mod:`repro.tensor` — numpy-backed reverse-mode autodiff engine.
+- :mod:`repro.nn` — neural-network layers, including the attention zoo
+  (sliding-window, full, ProbSparse, LSH, log-sparse, auto-correlation).
+- :mod:`repro.optim` — Adam/SGD, schedulers, clipping, early stopping.
+- :mod:`repro.data` — synthetic stand-ins for the paper's seven datasets,
+  chronological splits, rolling windows, calendar features.
+- :mod:`repro.core` — Conformer: input representation (FFT multivariate
+  correlation + multiscale dynamics), SIRN encoder/decoder on
+  sliding-window attention, and the normalizing-flow head.
+- :mod:`repro.baselines` — the nine comparison models of the paper.
+- :mod:`repro.training` / :mod:`repro.eval` — trainer, metrics, the
+  experiment runner, and the complexity/uncertainty probes.
+
+Quickstart::
+
+    from repro import run_experiment
+    result = run_experiment("etth1", "conformer", pred_len=12)
+    print(result.row())
+"""
+
+from repro.core import Conformer, ConformerConfig
+from repro.data import load_dataset, available_datasets
+from repro.training import (
+    ExperimentSettings,
+    Trainer,
+    available_models,
+    build_model,
+    run_experiment,
+)
+from repro.tensor import Tensor
+from repro.tensor.random import seed_everything
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Conformer",
+    "ConformerConfig",
+    "load_dataset",
+    "available_datasets",
+    "Trainer",
+    "ExperimentSettings",
+    "available_models",
+    "build_model",
+    "run_experiment",
+    "Tensor",
+    "seed_everything",
+    "__version__",
+]

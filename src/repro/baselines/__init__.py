@@ -1,0 +1,49 @@
+"""Baseline forecasters: the nine comparison models of Tables II-IV plus
+statistical sanity floors."""
+
+from repro.baselines.base import ForecastModel
+from repro.baselines.autoformer import Autoformer
+from repro.baselines.deepar import DeepAR
+from repro.baselines.dlinear import DLinear
+from repro.baselines.nbeats import NBeats
+from repro.baselines.rnn_models import GRUForecaster, LSTNet
+from repro.baselines.statistical import (
+    ARForecaster,
+    ARIMAForecaster,
+    NaivePersistence,
+    SeasonalNaive,
+    VARForecaster,
+)
+from repro.baselines.transformer_common import TransformerForecaster
+from repro.baselines.transformers import (
+    Informer,
+    LogTrans,
+    Longformer,
+    Reformer,
+    VanillaTransformer,
+)
+from repro.baselines.ts2vec import TS2Vec, TS2VecEncoder, hierarchical_contrastive_loss
+
+__all__ = [
+    "ForecastModel",
+    "Autoformer",
+    "DeepAR",
+    "DLinear",
+    "NBeats",
+    "GRUForecaster",
+    "LSTNet",
+    "ARForecaster",
+    "ARIMAForecaster",
+    "NaivePersistence",
+    "SeasonalNaive",
+    "VARForecaster",
+    "TransformerForecaster",
+    "Informer",
+    "LogTrans",
+    "Longformer",
+    "Reformer",
+    "VanillaTransformer",
+    "TS2Vec",
+    "TS2VecEncoder",
+    "hierarchical_contrastive_loss",
+]

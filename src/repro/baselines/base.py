@@ -1,0 +1,28 @@
+"""Common forecaster protocol shared by Conformer and all baselines.
+
+The trainer only relies on three methods:
+
+- ``forward(x_enc, x_mark_enc, x_dec, y_mark_dec)`` -> model outputs
+- ``compute_loss(outputs, target)`` -> scalar Tensor
+- ``point_forecast(outputs)`` -> numpy array (B, pred_len, c_out)
+
+Plain forecasters return a Tensor from ``forward``; Conformer returns a
+``(y_out, z_out)`` tuple and overrides the two helpers accordingly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn import Module
+from repro.tensor import Tensor, functional as F
+
+
+class ForecastModel(Module):
+    """Base class for single-head forecasters."""
+
+    def compute_loss(self, outputs, target: Tensor) -> Tensor:
+        return F.mse_loss(outputs, target)
+
+    def point_forecast(self, outputs) -> np.ndarray:
+        return outputs.data

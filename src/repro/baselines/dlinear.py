@@ -1,0 +1,64 @@
+"""DLinear baseline (Zeng et al. 2022) — extension: the strong linear
+decomposition model that post-dates the paper's comparison set.
+
+Decompose the input window into trend + seasonal (same moving-average
+decomposition as Autoformer/Conformer), apply one linear map per branch
+from the L_x past steps to the L_y future steps (shared across
+channels), and sum.  Famously competitive with far heavier Transformers
+on the LTTF benchmarks — a useful sanity anchor for this repository.
+"""
+
+from __future__ import annotations
+
+from repro.baselines.base import ForecastModel
+from repro.core.decomp import SeriesDecomposition
+from repro.nn import Linear
+from repro.tensor import Tensor
+from repro.tensor.random import spawn_rng
+
+
+class DLinear(ForecastModel):
+    """Decomposition + two per-branch linear maps over time."""
+
+    def __init__(
+        self,
+        enc_in: int,
+        c_out: int,
+        input_len: int,
+        pred_len: int,
+        moving_avg: int = 25,
+        individual: bool = False,
+        seed: int = 0,
+        **_unused,
+    ) -> None:
+        super().__init__()
+        rng = spawn_rng(seed)
+        self.pred_len = pred_len
+        self.c_out = c_out
+        self.individual = individual
+        self.decomp = SeriesDecomposition(moving_avg)
+        if individual:
+            from repro.nn import ModuleList
+
+            self.trend_linears = ModuleList([Linear(input_len, pred_len, rng=rng) for _ in range(enc_in)])
+            self.seasonal_linears = ModuleList([Linear(input_len, pred_len, rng=rng) for _ in range(enc_in)])
+        else:
+            self.trend_linear = Linear(input_len, pred_len, rng=rng)
+            self.seasonal_linear = Linear(input_len, pred_len, rng=rng)
+
+    def forward(self, x_enc: Tensor, x_mark_enc: Tensor, x_dec: Tensor, y_mark_dec: Tensor) -> Tensor:
+        trend, seasonal = self.decomp(x_enc)  # (B, L, C)
+        trend_t = trend.swapaxes(1, 2)  # (B, C, L)
+        seasonal_t = seasonal.swapaxes(1, 2)
+        if self.individual:
+            from repro.tensor import functional as F
+
+            trend_parts = [self.trend_linears[c](trend_t[:, c, :]) for c in range(trend_t.shape[1])]
+            seasonal_parts = [self.seasonal_linears[c](seasonal_t[:, c, :]) for c in range(seasonal_t.shape[1])]
+            trend_out = F.stack(trend_parts, axis=1)
+            seasonal_out = F.stack(seasonal_parts, axis=1)
+        else:
+            trend_out = self.trend_linear(trend_t)  # (B, C, pred)
+            seasonal_out = self.seasonal_linear(seasonal_t)
+        out = (trend_out + seasonal_out).swapaxes(1, 2)  # (B, pred, C)
+        return out[:, :, : self.c_out]

@@ -1,0 +1,69 @@
+"""N-Beats baseline (Oreshkin et al., ICLR 2020), generic blocks.
+
+Doubly-residual stacks of fully-connected blocks: each block consumes
+the current backcast residual and emits (backcast, forecast); forecasts
+are summed over all blocks.  N-Beats is a univariate architecture — the
+multivariate adaptation (as the paper's §V-A2 does) applies the shared
+network channel-independently by folding channels into the batch.
+"""
+
+from __future__ import annotations
+
+from repro.baselines.base import ForecastModel
+from repro.nn import Linear, Module, ModuleList, ReLU, Sequential
+from repro.tensor import Tensor
+from repro.tensor.random import spawn_rng
+
+
+class NBeatsBlock(Module):
+    """Four-layer FC trunk with linear backcast/forecast heads."""
+
+    def __init__(self, input_len: int, pred_len: int, hidden: int, n_layers: int = 4, rng=None) -> None:
+        super().__init__()
+        layers = []
+        width = input_len
+        for _ in range(n_layers):
+            layers.extend([Linear(width, hidden, rng=rng), ReLU()])
+            width = hidden
+        self.trunk = Sequential(*layers)
+        self.backcast_head = Linear(hidden, input_len, rng=rng)
+        self.forecast_head = Linear(hidden, pred_len, rng=rng)
+
+    def forward(self, x: Tensor):
+        hidden = self.trunk(x)
+        return self.backcast_head(hidden), self.forecast_head(hidden)
+
+
+class NBeats(ForecastModel):
+    """Stacked generic N-Beats blocks, channel-independent."""
+
+    def __init__(
+        self,
+        enc_in: int,
+        c_out: int,
+        input_len: int,
+        pred_len: int,
+        hidden_size: int = 64,
+        n_blocks: int = 3,
+        seed: int = 0,
+        **_unused,
+    ) -> None:
+        super().__init__()
+        rng = spawn_rng(seed)
+        self.input_len = input_len
+        self.pred_len = pred_len
+        self.c_out = c_out
+        self.blocks = ModuleList([NBeatsBlock(input_len, pred_len, hidden_size, rng=rng) for _ in range(n_blocks)])
+
+    def forward(self, x_enc: Tensor, x_mark_enc: Tensor, x_dec: Tensor, y_mark_dec: Tensor) -> Tensor:
+        batch, length, channels = x_enc.shape
+        # fold channels into the batch: (B, L, C) -> (B*C, L)
+        series = x_enc.transpose(0, 2, 1).reshape(batch * channels, length)
+        residual = series
+        forecast = None
+        for block in self.blocks:
+            backcast, block_forecast = block(residual)
+            residual = residual - backcast
+            forecast = block_forecast if forecast is None else forecast + block_forecast
+        out = forecast.reshape(batch, channels, self.pred_len).transpose(0, 2, 1)
+        return out[:, :, : self.c_out]

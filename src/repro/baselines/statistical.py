@@ -1,0 +1,180 @@
+"""Statistical reference predictors: persistence, seasonal-naive, AR, VAR.
+
+These are not in the paper's comparison tables but serve as sanity
+floors in the benchmark harness (a deep model losing to persistence on a
+periodic dataset signals a broken training run) and implement the
+classical methods the related-work section discusses (§II-A).
+All fit in closed form — no gradient training.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class NaivePersistence:
+    """Repeat the last observed value over the whole horizon."""
+
+    def __init__(self, pred_len: int) -> None:
+        self.pred_len = pred_len
+
+    def fit(self, train_values: np.ndarray) -> "NaivePersistence":
+        return self
+
+    def predict(self, x_enc: np.ndarray) -> np.ndarray:
+        """x_enc: (B, L, C) -> (B, pred_len, C)."""
+        last = x_enc[:, -1:, :]
+        return np.repeat(last, self.pred_len, axis=1)
+
+
+class SeasonalNaive:
+    """Repeat the last full season of the input window."""
+
+    def __init__(self, pred_len: int, period: int) -> None:
+        if period < 1:
+            raise ValueError("period must be >= 1")
+        self.pred_len = pred_len
+        self.period = period
+
+    def fit(self, train_values: np.ndarray) -> "SeasonalNaive":
+        return self
+
+    def predict(self, x_enc: np.ndarray) -> np.ndarray:
+        batch, length, channels = x_enc.shape
+        if length < self.period:
+            raise ValueError(f"input window ({length}) shorter than period ({self.period})")
+        season = x_enc[:, -self.period :, :]
+        reps = int(np.ceil(self.pred_len / self.period))
+        tiled = np.tile(season, (1, reps, 1))
+        return tiled[:, : self.pred_len, :]
+
+
+class ARForecaster:
+    """Per-channel autoregressive model fit by ordinary least squares.
+
+    Forecasts recursively over the horizon — the scalable stand-in for
+    ARIMA in the related-work lineage.
+    """
+
+    def __init__(self, pred_len: int, order: int = 8, ridge: float = 1e-3) -> None:
+        if order < 1:
+            raise ValueError("order must be >= 1")
+        self.pred_len = pred_len
+        self.order = order
+        self.ridge = ridge
+        self.coef_: np.ndarray | None = None  # (C, order)
+        self.intercept_: np.ndarray | None = None  # (C,)
+
+    def fit(self, train_values: np.ndarray) -> "ARForecaster":
+        values = np.asarray(train_values, dtype=np.float64)
+        n, channels = values.shape
+        if n <= self.order:
+            raise ValueError("training series shorter than AR order")
+        coefs = np.empty((channels, self.order))
+        intercepts = np.empty(channels)
+        for c in range(channels):
+            series = values[:, c]
+            design = np.column_stack([series[self.order - k - 1 : n - k - 1] for k in range(self.order)])
+            design = np.column_stack([design, np.ones(len(design))])
+            target = series[self.order :]
+            gram = design.T @ design + self.ridge * np.eye(design.shape[1])
+            solution = np.linalg.solve(gram, design.T @ target)
+            coefs[c] = solution[:-1]
+            intercepts[c] = solution[-1]
+        self.coef_, self.intercept_ = coefs, intercepts
+        return self
+
+    def predict(self, x_enc: np.ndarray) -> np.ndarray:
+        if self.coef_ is None:
+            raise RuntimeError("ARForecaster used before fit()")
+        x = np.asarray(x_enc, dtype=np.float64)
+        batch, length, channels = x.shape
+        if length < self.order:
+            raise ValueError("input window shorter than AR order")
+        history = x[:, -self.order :, :].copy()  # (B, order, C)
+        outputs = np.empty((batch, self.pred_len, channels))
+        for step in range(self.pred_len):
+            # lags ordered most-recent-first to match the fitted design
+            lags = history[:, ::-1, :]  # (B, order, C)
+            next_value = np.einsum("boc,co->bc", lags, self.coef_) + self.intercept_
+            outputs[:, step, :] = next_value
+            history = np.concatenate([history[:, 1:, :], next_value[:, None, :]], axis=1)
+        return outputs
+
+
+class ARIMAForecaster:
+    """AR-integrated forecaster: difference ``d`` times, fit AR(p), invert.
+
+    The tractable core of ARIMA(p, d, 0) — differencing handles the
+    random-walk non-stationarity that plain AR cannot (Exchange-style
+    series), which is exactly why the classical literature (§II-A)
+    reaches for ARIMA there.
+    """
+
+    def __init__(self, pred_len: int, order: int = 8, d: int = 1, ridge: float = 1e-3) -> None:
+        if d < 0:
+            raise ValueError("d must be >= 0")
+        self.pred_len = pred_len
+        self.d = d
+        self._ar = ARForecaster(pred_len=pred_len, order=order, ridge=ridge)
+
+    def fit(self, train_values: np.ndarray) -> "ARIMAForecaster":
+        values = np.asarray(train_values, dtype=np.float64)
+        for _ in range(self.d):
+            values = np.diff(values, axis=0)
+        self._ar.fit(values)
+        return self
+
+    def predict(self, x_enc: np.ndarray) -> np.ndarray:
+        x = np.asarray(x_enc, dtype=np.float64)
+        # difference the window, forecast differences, then re-integrate
+        tails = []  # last value at each differencing level, innermost last
+        for _ in range(self.d):
+            tails.append(x[:, -1, :])
+            x = np.diff(x, axis=1)
+        forecast = self._ar.predict(x)
+        for tail in reversed(tails):
+            forecast = tail[:, None, :] + np.cumsum(forecast, axis=1)
+        return forecast
+
+
+class VARForecaster:
+    """Vector autoregression: one joint least-squares over all channels."""
+
+    def __init__(self, pred_len: int, order: int = 4, ridge: float = 1e-2) -> None:
+        if order < 1:
+            raise ValueError("order must be >= 1")
+        self.pred_len = pred_len
+        self.order = order
+        self.ridge = ridge
+        self.coef_: np.ndarray | None = None  # (order * C + 1, C)
+
+    def fit(self, train_values: np.ndarray) -> "VARForecaster":
+        values = np.asarray(train_values, dtype=np.float64)
+        n, channels = values.shape
+        if n <= self.order:
+            raise ValueError("training series shorter than VAR order")
+        rows = n - self.order
+        design = np.empty((rows, self.order * channels + 1))
+        for k in range(self.order):
+            design[:, k * channels : (k + 1) * channels] = values[self.order - k - 1 : n - k - 1]
+        design[:, -1] = 1.0
+        target = values[self.order :]
+        gram = design.T @ design + self.ridge * np.eye(design.shape[1])
+        self.coef_ = np.linalg.solve(gram, design.T @ target)
+        return self
+
+    def predict(self, x_enc: np.ndarray) -> np.ndarray:
+        if self.coef_ is None:
+            raise RuntimeError("VARForecaster used before fit()")
+        x = np.asarray(x_enc, dtype=np.float64)
+        batch, length, channels = x.shape
+        history = x[:, -self.order :, :].copy()
+        outputs = np.empty((batch, self.pred_len, channels))
+        for step in range(self.pred_len):
+            lags = history[:, ::-1, :].reshape(batch, self.order * channels)
+            design = np.column_stack([lags, np.ones(batch)])
+            next_value = design @ self.coef_
+            outputs[:, step, :] = next_value
+            history = np.concatenate([history[:, 1:, :], next_value[:, None, :]], axis=1)
+        return outputs

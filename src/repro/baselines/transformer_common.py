@@ -1,0 +1,156 @@
+"""Shared Transformer scaffold for the attention-swap baselines.
+
+Informer, Reformer, Longformer, LogTrans, and the vanilla Transformer all
+share the same encoder-decoder skeleton and differ in (a) the attention
+mechanism and (b) whether encoder self-attention distilling is applied
+(Informer).  The scaffold is parameterized by attention *factories* so
+each layer gets its own mechanism instance.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.baselines.base import ForecastModel
+from repro.nn import (
+    AttentionMechanism,
+    Conv1d,
+    DataEmbedding,
+    Dropout,
+    ELU,
+    FeedForward,
+    LayerNorm,
+    Module,
+    ModuleList,
+    MultiHeadAttention,
+)
+from repro.tensor import Tensor, functional as F
+from repro.tensor.random import spawn_rng
+
+AttentionFactory = Callable[[], AttentionMechanism]
+
+
+class TransformerEncoderLayer(Module):
+    """Pre-LN style: self-attention + feed-forward with residuals."""
+
+    def __init__(self, d_model: int, n_heads: int, d_ff: int, dropout: float, attention: AttentionFactory, rng=None):
+        super().__init__()
+        self.attention = MultiHeadAttention(d_model, n_heads, mechanism=attention(), dropout=dropout, rng=rng)
+        self.feed_forward = FeedForward(d_model, d_ff, dropout=dropout, rng=rng)
+        self.norm1 = LayerNorm(d_model)
+        self.norm2 = LayerNorm(d_model)
+        self.dropout = Dropout(dropout)
+
+    def forward(self, x: Tensor) -> Tensor:
+        x = self.norm1(x + self.dropout(self.attention(x)))
+        return self.norm2(x + self.dropout(self.feed_forward(x)))
+
+
+class DistilLayer(Module):
+    """Informer's self-attention distilling: conv + ELU + stride-2 max-pool."""
+
+    def __init__(self, d_model: int, rng=None) -> None:
+        super().__init__()
+        self.conv = Conv1d(d_model, d_model, kernel_size=3, padding="same", padding_mode="circular", rng=rng)
+        self.activation = ELU()
+
+    def forward(self, x: Tensor) -> Tensor:
+        out = self.activation(self.conv(x))
+        return F.max_pool1d(out, kernel=2, stride=2)
+
+
+class TransformerDecoderLayer(Module):
+    """Masked self-attention + cross-attention + feed-forward."""
+
+    def __init__(
+        self,
+        d_model: int,
+        n_heads: int,
+        d_ff: int,
+        dropout: float,
+        self_attention: AttentionFactory,
+        cross_attention: AttentionFactory,
+        rng=None,
+    ) -> None:
+        super().__init__()
+        self.self_attention = MultiHeadAttention(d_model, n_heads, mechanism=self_attention(), dropout=dropout, rng=rng)
+        self.cross_attention = MultiHeadAttention(d_model, n_heads, mechanism=cross_attention(), dropout=dropout, rng=rng)
+        self.feed_forward = FeedForward(d_model, d_ff, dropout=dropout, rng=rng)
+        self.norm1 = LayerNorm(d_model)
+        self.norm2 = LayerNorm(d_model)
+        self.norm3 = LayerNorm(d_model)
+        self.dropout = Dropout(dropout)
+
+    def forward(self, x: Tensor, memory: Tensor) -> Tensor:
+        x = self.norm1(x + self.dropout(self.self_attention(x)))
+        x = self.norm2(x + self.dropout(self.cross_attention(x, memory, memory)))
+        return self.norm3(x + self.dropout(self.feed_forward(x)))
+
+
+class TransformerForecaster(ForecastModel):
+    """Generic encoder-decoder forecaster with pluggable attention.
+
+    Decoding is generative (Informer-style): the decoder receives the
+    last ``label_len`` known steps plus zero placeholders and predicts the
+    whole horizon in one forward pass.
+    """
+
+    def __init__(
+        self,
+        enc_in: int,
+        dec_in: int,
+        c_out: int,
+        pred_len: int,
+        d_model: int = 32,
+        n_heads: int = 8,
+        e_layers: int = 2,
+        d_layers: int = 1,
+        d_ff: int = 64,
+        dropout: float = 0.05,
+        d_time: int = 4,
+        distil: bool = False,
+        enc_attention: Optional[AttentionFactory] = None,
+        dec_self_attention: Optional[AttentionFactory] = None,
+        dec_cross_attention: Optional[AttentionFactory] = None,
+        seed: int = 0,
+    ) -> None:
+        super().__init__()
+        from repro.nn import FullAttention
+
+        rng = spawn_rng(seed)
+        enc_attention = enc_attention or (lambda: FullAttention(dropout=dropout))
+        dec_self_attention = dec_self_attention or (lambda: FullAttention(dropout=dropout, causal=True))
+        dec_cross_attention = dec_cross_attention or (lambda: FullAttention(dropout=dropout))
+
+        self.pred_len = pred_len
+        self.enc_embedding = DataEmbedding(enc_in, d_model, d_time=d_time, dropout=dropout, use_position=True, rng=rng)
+        self.dec_embedding = DataEmbedding(dec_in, d_model, d_time=d_time, dropout=dropout, use_position=True, rng=rng)
+        self.encoder_layers = ModuleList(
+            [TransformerEncoderLayer(d_model, n_heads, d_ff, dropout, enc_attention, rng=rng) for _ in range(e_layers)]
+        )
+        self.distil_layers = (
+            ModuleList([DistilLayer(d_model, rng=rng) for _ in range(e_layers - 1)]) if distil else None
+        )
+        self.decoder_layers = ModuleList(
+            [
+                TransformerDecoderLayer(
+                    d_model, n_heads, d_ff, dropout, dec_self_attention, dec_cross_attention, rng=rng
+                )
+                for _ in range(d_layers)
+            ]
+        )
+        from repro.nn import Linear
+
+        self.projection = Linear(d_model, c_out, rng=rng)
+
+    def forward(self, x_enc: Tensor, x_mark_enc: Tensor, x_dec: Tensor, y_mark_dec: Tensor) -> Tensor:
+        enc = self.enc_embedding(x_enc, x_mark_enc)
+        for i, layer in enumerate(self.encoder_layers):
+            enc = layer(enc)
+            if self.distil_layers is not None and i < len(self.distil_layers) and enc.shape[1] >= 4:
+                enc = self.distil_layers[i](enc)
+        dec = self.dec_embedding(x_dec, y_mark_dec)
+        for layer in self.decoder_layers:
+            dec = layer(dec, enc)
+        out = self.projection(dec)
+        return out[:, -self.pred_len :, :]

@@ -1,0 +1,96 @@
+"""The five Transformer baselines of Table II/IV, as thin specializations
+of :class:`~repro.baselines.transformer_common.TransformerForecaster`.
+
+- :class:`VanillaTransformer` — full O(L^2) attention (Vaswani).
+- :class:`Informer` — ProbSparse attention + self-attention distilling.
+- :class:`Reformer` — LSH attention (paper settings: bucket_length 24,
+  4 hash rounds).
+- :class:`Longformer` — sliding-window attention with linear complexity.
+- :class:`LogTrans` — log-sparse attention (2 blocks, sub_len 1).
+"""
+
+from __future__ import annotations
+
+from repro.baselines.transformer_common import TransformerForecaster
+from repro.nn import (
+    FullAttention,
+    GlobalWindowAttention,
+    LSHAttention,
+    LogSparseAttention,
+    ProbSparseAttention,
+    SlidingWindowAttention,
+)
+
+
+class VanillaTransformer(TransformerForecaster):
+    """Standard Transformer with full attention everywhere."""
+
+
+class Informer(TransformerForecaster):
+    """ProbSparse self-attentions + distilling encoder (Zhou et al. 2021).
+
+    The paper sets the sampling factor to 1 for the comparisons (§V-A2).
+    """
+
+    def __init__(self, *args, factor: int = 1, dropout: float = 0.05, seed: int = 0, **kwargs) -> None:
+        super().__init__(
+            *args,
+            dropout=dropout,
+            distil=True,
+            enc_attention=lambda: ProbSparseAttention(factor=factor, dropout=dropout, seed=seed),
+            dec_self_attention=lambda: ProbSparseAttention(factor=factor, dropout=dropout, causal=True, seed=seed),
+            dec_cross_attention=lambda: FullAttention(dropout=dropout),
+            seed=seed,
+            **kwargs,
+        )
+
+
+class Reformer(TransformerForecaster):
+    """LSH attention (Kitaev et al. 2020); bucket_length 24, 4 rounds (§V-A2)."""
+
+    def __init__(
+        self, *args, bucket_length: int = 24, n_rounds: int = 4, dropout: float = 0.05, seed: int = 0, **kwargs
+    ) -> None:
+        super().__init__(
+            *args,
+            dropout=dropout,
+            enc_attention=lambda: LSHAttention(bucket_length=bucket_length, n_rounds=n_rounds, dropout=dropout, seed=seed),
+            dec_self_attention=lambda: LSHAttention(bucket_length=bucket_length, n_rounds=n_rounds, dropout=dropout, seed=seed),
+            dec_cross_attention=lambda: FullAttention(dropout=dropout),
+            seed=seed,
+            **kwargs,
+        )
+
+
+class Longformer(TransformerForecaster):
+    """Sliding-window + task-motivated global attention (Beltagy et al.
+    2020), scaling linearly with length."""
+
+    def __init__(
+        self, *args, window: int = 8, n_global: int = 4, dropout: float = 0.05, seed: int = 0, **kwargs
+    ) -> None:
+        super().__init__(
+            *args,
+            dropout=dropout,
+            enc_attention=lambda: GlobalWindowAttention(window=window, n_global=n_global, dropout=dropout),
+            dec_self_attention=lambda: SlidingWindowAttention(window=window, dropout=dropout, causal=True),
+            dec_cross_attention=lambda: FullAttention(dropout=dropout),
+            seed=seed,
+            **kwargs,
+        )
+
+
+class LogTrans(TransformerForecaster):
+    """Log-sparse attention (Li et al. 2019); sub_len 1, 2 blocks (§V-A2)."""
+
+    def __init__(self, *args, sub_len: int = 1, dropout: float = 0.05, seed: int = 0, **kwargs) -> None:
+        kwargs.setdefault("e_layers", 2)
+        super().__init__(
+            *args,
+            dropout=dropout,
+            enc_attention=lambda: LogSparseAttention(sub_len=sub_len, dropout=dropout),
+            dec_self_attention=lambda: LogSparseAttention(sub_len=sub_len, dropout=dropout),
+            dec_cross_attention=lambda: FullAttention(dropout=dropout),
+            seed=seed,
+            **kwargs,
+        )

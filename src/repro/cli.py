@@ -1,0 +1,201 @@
+"""Command-line interface: ``python -m repro.cli <command>``.
+
+Commands
+--------
+datasets
+    List the synthetic datasets and their Table I statistics.
+models
+    List the registered forecasters.
+run
+    Train and evaluate one (dataset, model, horizon) cell.
+efficiency
+    Fig. 5-style attention time/memory comparison.
+sweep
+    Fig. 4-style sensitivity sweep over one Conformer hyper-parameter.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from dataclasses import replace
+from typing import List, Optional
+
+from repro.data import available_datasets, load_dataset
+from repro.eval import efficiency_table, scaling_exponent
+from repro.training import active_profile, available_models, run_experiment
+
+
+def _cmd_datasets(args: argparse.Namespace) -> int:
+    print(f"{'name':10s} {'#dims':>5} {'interval':>9}  description")
+    for name in available_datasets():
+        kwargs = {"n_dims": 321} if name == "ecl" else {}
+        ds = load_dataset(name, n_points=200, **kwargs)
+        print(f"{name:10s} {ds.n_dims:>5} {ds.freq:>9}  {ds.description}")
+    return 0
+
+
+def _cmd_models(args: argparse.Namespace) -> int:
+    for name in available_models():
+        print(name)
+    return 0
+
+
+def _parse_seeds(text: str) -> List[int]:
+    return [int(s) for s in text.split(",") if s.strip() != ""]
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    settings = active_profile()
+    if args.epochs is not None:
+        settings = replace(settings, max_epochs=args.epochs)
+    overrides = json.loads(args.model_overrides) if args.model_overrides else None
+    result = run_experiment(
+        args.dataset,
+        args.model,
+        pred_len=args.pred_len,
+        settings=settings,
+        univariate=args.univariate,
+        seeds=_parse_seeds(args.seeds),
+        model_overrides=overrides,
+    )
+    if args.json:
+        print(json.dumps({
+            "dataset": result.dataset,
+            "model": result.model,
+            "pred_len": result.pred_len,
+            "mse": result.mse,
+            "mae": result.mae,
+            "per_seed": result.per_seed,
+        }, indent=2))
+    else:
+        print(result.row())
+    return 0
+
+
+def _cmd_efficiency(args: argparse.Namespace) -> int:
+    lengths = [int(x) for x in args.lengths.split(",")]
+    table = efficiency_table(lengths=lengths, repeats=args.repeats)
+    print(f"{'mechanism':18s}" + "".join(f"  L={length:<7}" for length in lengths) + " slope")
+    for name, points in table.items():
+        cells = "".join(f"  {p.seconds * 1e3:7.2f}ms" for p in points)
+        print(f"{name:18s}{cells} {scaling_exponent(points):5.2f}")
+    return 0
+
+
+def _cmd_diagnose(args: argparse.Namespace) -> int:
+    from repro.data.diagnostics import diagnose
+
+    periods = {"etth1": 24, "ettm1": 96, "ecl": 24, "weather": 144, "wind": 96, "exchange": 7, "airdelay": None}
+    print(f"{'dataset':10s} {'ljung-box p':>12} {'unit-root':>10} {'burstiness':>11} {'seasonal':>9}")
+    for name in available_datasets():
+        kwargs = {"n_dims": 8} if name == "ecl" else {}
+        ds = load_dataset(name, n_points=args.n_points, **kwargs)
+        report = diagnose(ds.values[:, ds.target_index], period=periods.get(name))
+        seasonal = f"{report.get('seasonal_strength', float('nan')):.3f}" if "seasonal_strength" in report else "-"
+        print(
+            f"{name:10s} {report['ljung_box_p']:>12.2e} {report['unit_root_score']:>10.2f} "
+            f"{report['burstiness']:>11.3f} {seasonal:>9}"
+        )
+    return 0
+
+
+def _cmd_backtest(args: argparse.Namespace) -> int:
+    from repro.training import build_model, walk_forward
+
+    settings = active_profile()
+    dataset = load_dataset(args.dataset, n_points=settings.n_points, **settings.dataset_kwargs)
+
+    def factory(n_dims, pred_len):
+        return build_model(args.model, n_dims, n_dims, pred_len, settings)
+
+    report = walk_forward(
+        dataset,
+        factory,
+        input_len=settings.input_len,
+        pred_len=args.pred_len,
+        n_folds=args.folds,
+        max_epochs=settings.max_epochs,
+        learning_rate=settings.learning_rate,
+    )
+    print(f"{'fold':>5} {'origin':>8} {'MSE':>8} {'MAE':>8}")
+    for i, fold in enumerate(report.folds):
+        print(f"{i:>5} {fold.origin:>8} {fold.metrics['mse']:>8.4f} {fold.metrics['mae']:>8.4f}")
+    summary = report.summary()
+    print(
+        f"\nmean mse {summary['mse_mean']:.4f} ± {summary['mse_std']:.4f}, "
+        f"worst {summary['mse_worst']:.4f}, degradation slope {report.degradation():+.4f}/fold"
+    )
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    settings = active_profile()
+    values = args.values.split(",")
+    caster = {"window": int, "n_flows": int, "lambda_weight": float, "decomp_iterations": int}
+    cast = caster.get(args.param, str)
+    print(f"{'value':>8} {'MSE':>8} {'MAE':>8}")
+    for raw in values:
+        value = cast(raw)
+        result = run_experiment(
+            args.dataset,
+            "conformer",
+            pred_len=args.pred_len,
+            settings=settings,
+            model_overrides={args.param: value},
+        )
+        print(f"{raw:>8} {result.mse:>8.4f} {result.mae:>8.4f}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(prog="repro", description=__doc__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("datasets", help="list synthetic datasets").set_defaults(fn=_cmd_datasets)
+    sub.add_parser("models", help="list registered forecasters").set_defaults(fn=_cmd_models)
+
+    run_p = sub.add_parser("run", help="train + evaluate one experiment cell")
+    run_p.add_argument("--dataset", default="etth1", choices=available_datasets())
+    run_p.add_argument("--model", default="conformer", choices=available_models())
+    run_p.add_argument("--pred-len", type=int, default=12, dest="pred_len")
+    run_p.add_argument("--univariate", action="store_true")
+    run_p.add_argument("--seeds", default="0", help="comma-separated seeds")
+    run_p.add_argument("--epochs", type=int, default=None)
+    run_p.add_argument("--model-overrides", default=None, help="JSON dict of model kwargs")
+    run_p.add_argument("--json", action="store_true", help="machine-readable output")
+    run_p.set_defaults(fn=_cmd_run)
+
+    eff_p = sub.add_parser("efficiency", help="attention time/memory comparison (Fig. 5)")
+    eff_p.add_argument("--lengths", default="64,128,256,512")
+    eff_p.add_argument("--repeats", type=int, default=3)
+    eff_p.set_defaults(fn=_cmd_efficiency)
+
+    diag_p = sub.add_parser("diagnose", help="statistical diagnostics of every dataset")
+    diag_p.add_argument("--n-points", type=int, default=2000, dest="n_points")
+    diag_p.set_defaults(fn=_cmd_diagnose)
+
+    backtest_p = sub.add_parser("backtest", help="walk-forward (rolling-origin) evaluation")
+    backtest_p.add_argument("--dataset", default="etth1", choices=available_datasets())
+    backtest_p.add_argument("--model", default="conformer", choices=available_models())
+    backtest_p.add_argument("--pred-len", type=int, default=8, dest="pred_len")
+    backtest_p.add_argument("--folds", type=int, default=3)
+    backtest_p.set_defaults(fn=_cmd_backtest)
+
+    sweep_p = sub.add_parser("sweep", help="sensitivity sweep over a Conformer hyper-parameter (Fig. 4)")
+    sweep_p.add_argument("--dataset", default="wind", choices=available_datasets())
+    sweep_p.add_argument("--param", default="window", choices=["window", "n_flows", "lambda_weight", "decomp_iterations"])
+    sweep_p.add_argument("--values", default="1,2,4")
+    sweep_p.add_argument("--pred-len", type=int, default=8, dest="pred_len")
+    sweep_p.set_defaults(fn=_cmd_sweep)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

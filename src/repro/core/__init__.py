@@ -1,0 +1,29 @@
+"""Conformer core: the paper's primary contribution."""
+
+from repro.core.config import ConformerConfig
+from repro.core.decomp import SeriesDecomposition
+from repro.core.loess import LoessSmoother, STLDecomposition
+from repro.core.flow import NormalizingFlow
+from repro.core.input_repr import (
+    InputRepresentation,
+    MultiscaleDynamics,
+    multivariate_correlation_weights,
+)
+from repro.core.model import Conformer
+from repro.core.sirn import SIRNDecoder, SIRNDecoderLayer, SIRNEncoder, SIRNLayer
+
+__all__ = [
+    "Conformer",
+    "ConformerConfig",
+    "SeriesDecomposition",
+    "LoessSmoother",
+    "STLDecomposition",
+    "NormalizingFlow",
+    "InputRepresentation",
+    "MultiscaleDynamics",
+    "multivariate_correlation_weights",
+    "SIRNEncoder",
+    "SIRNDecoder",
+    "SIRNLayer",
+    "SIRNDecoderLayer",
+]

@@ -1,0 +1,21 @@
+"""Series decomposition: trend = moving average, seasonal = residual (Eq. 9)."""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.nn import Module, MovingAverage
+from repro.tensor import Tensor
+
+
+class SeriesDecomposition(Module):
+    """Split a (B, L, C) series into (trend, seasonal) with trend+seasonal == input."""
+
+    def __init__(self, kernel_size: int = 25) -> None:
+        super().__init__()
+        self.moving_average = MovingAverage(kernel_size)
+
+    def forward(self, x: Tensor) -> Tuple[Tensor, Tensor]:
+        trend = self.moving_average(x)
+        seasonal = x - trend
+        return trend, seasonal

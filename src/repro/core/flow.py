@@ -1,0 +1,171 @@
+"""Normalizing-flow block for LTTF (§IV-C, Fig. 3b, Eqs. 15-17).
+
+The flow absorbs the encoder's and decoder's GRU hidden states:
+
+- Eq. (15):  z_e = mu_e(h_e) + sigma_e(h_e) * eps,     eps ~ N(0, I)
+- Eq. (16):  z_0 = mu_d(h_d) + sigma_d(h_d) * z_e
+- Eq. (17):  z_t = mu_t([h_d, z_{t-1}]) + sigma_t([h_d, z_{t-1}]) * z_{t-1}
+
+The final latent z_T is projected to the target series, so the future is
+generated *directly* from latent states (the paper trains this with MSE,
+Eq. 18, instead of log-likelihood).  Drawing several eps produces the
+uncertainty bands of Figs. 6-7; sigma networks use softplus so scales
+stay positive.
+
+``mode`` implements the Table VII ablations: ``z_e``/``z_d``/``z_0``
+short-circuit the chain at the corresponding latent; ``none`` is handled
+by the caller (flow skipped entirely).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.nn import Linear, Module, ModuleList
+from repro.tensor import Tensor, functional as F
+from repro.tensor.random import spawn_rng
+
+FLOW_MODES = ("flow", "z_e", "z_d", "z_0")
+
+
+class _GaussianHead(Module):
+    """mu/sigma networks over a hidden state: FCN_mu(h), softplus FCN_sigma(h)."""
+
+    def __init__(self, in_dim: int, latent_dim: int, rng=None) -> None:
+        super().__init__()
+        self.mu = Linear(in_dim, latent_dim, rng=rng)
+        self.sigma = Linear(in_dim, latent_dim, rng=rng)
+
+    def forward(self, h: Tensor) -> Tuple[Tensor, Tensor]:
+        return self.mu(h), F.softplus(self.sigma(h)) + 1e-6
+
+
+class NormalizingFlow(Module):
+    """The conditioned affine flow chain of Eqs. (15)-(17).
+
+    Parameters
+    ----------
+    d_hidden:
+        Dimension of the encoder/decoder hidden states h_e, h_d.
+    latent_dim:
+        Dimension of the latent variables z.
+    pred_len, c_out:
+        Output series shape; z_T is projected to (pred_len, c_out).
+    n_flows:
+        T — the number of chained transformations (paper default 2).
+    mode:
+        'flow' (full chain) or a Table VII ablation ('z_e'/'z_d'/'z_0').
+    """
+
+    def __init__(
+        self,
+        d_hidden: int,
+        latent_dim: int,
+        pred_len: int,
+        c_out: int,
+        n_flows: int = 2,
+        mode: str = "flow",
+        seed: Optional[int] = None,
+        rng=None,
+    ) -> None:
+        super().__init__()
+        if mode not in FLOW_MODES:
+            raise ValueError(f"mode must be one of {FLOW_MODES}, got {mode!r}")
+        if n_flows < 1:
+            raise ValueError("n_flows must be >= 1")
+        self.mode = mode
+        self.latent_dim = latent_dim
+        self.pred_len = pred_len
+        self.c_out = c_out
+        self.n_flows = n_flows
+        self.encoder_head = _GaussianHead(d_hidden, latent_dim, rng=rng)  # Eq. (15)
+        self.decoder_head = _GaussianHead(d_hidden, latent_dim, rng=rng)  # Eq. (16)
+        self.transforms = ModuleList(  # Eq. (17), conditioned on h_d
+            [_GaussianHead(d_hidden + latent_dim, latent_dim, rng=rng) for _ in range(n_flows)]
+        )
+        self.projection = Linear(latent_dim, pred_len * c_out, rng=rng)
+        # scale head for the optional NLL objective (library extension: the
+        # paper substitutes MSE for the log-likelihood, §IV-D)
+        self.scale_projection = Linear(latent_dim, pred_len * c_out, rng=rng)
+        self._rng = spawn_rng(seed)
+
+    # ------------------------------------------------------------------
+    def _sample_eps(self, batch: int, deterministic: bool) -> Tensor:
+        if deterministic:
+            return Tensor(np.zeros((batch, self.latent_dim)))
+        return Tensor(self._rng.normal(size=(batch, self.latent_dim)))
+
+    def latent_chain(self, h_enc: Tensor, h_dec: Tensor, deterministic: bool = False) -> List[Tensor]:
+        """Return [z_e, z_0, z_1, ..., z_T] for inspection/ablation."""
+        eps = self._sample_eps(h_enc.shape[0], deterministic)
+        mu_e, sigma_e = self.encoder_head(h_enc)
+        z_e = mu_e + sigma_e * eps  # Eq. (15)
+        mu_d, sigma_d = self.decoder_head(h_dec)
+        z = mu_d + sigma_d * z_e  # Eq. (16)
+        chain = [z_e, z]
+        for transform in self.transforms:  # Eq. (17)
+            conditioned = F.concat([h_dec, z], axis=-1)
+            mu_t, sigma_t = transform(conditioned)
+            z = mu_t + sigma_t * z
+            chain.append(z)
+        return chain
+
+    def forward(self, h_enc: Tensor, h_dec: Tensor, deterministic: bool = False) -> Tensor:
+        """Generate the target series (B, pred_len, c_out) from hidden states."""
+        chain = self.latent_chain(h_enc, h_dec, deterministic=deterministic)
+        if self.mode == "flow":
+            z = chain[-1]
+        elif self.mode == "z_e":
+            z = chain[0]
+        elif self.mode == "z_0":
+            z = chain[1]
+        else:  # 'z_d': Gaussian re-parameterization of the decoder state alone
+            eps = self._sample_eps(h_dec.shape[0], deterministic)
+            mu_d, sigma_d = self.decoder_head(h_dec)
+            z = mu_d + sigma_d * eps
+        batch = z.shape[0]
+        return self.projection(z).reshape(batch, self.pred_len, self.c_out)
+
+    def sample(self, h_enc: Tensor, h_dec: Tensor, n_samples: int = 100) -> np.ndarray:
+        """Draw ``n_samples`` stochastic forecasts: (S, B, pred_len, c_out)."""
+        draws = [self.forward(h_enc, h_dec, deterministic=False).data for _ in range(n_samples)]
+        return np.stack(draws, axis=0)
+
+    # ------------------------------------------------------------------
+    # NLL extension: an explicit Gaussian output distribution
+    # ------------------------------------------------------------------
+    def _terminal_latent(self, h_enc: Tensor, h_dec: Tensor, deterministic: bool) -> Tensor:
+        chain = self.latent_chain(h_enc, h_dec, deterministic=deterministic)
+        return chain[-1]
+
+    def output_distribution(
+        self, h_enc: Tensor, h_dec: Tensor, deterministic: bool = True
+    ) -> Tuple[Tensor, Tensor]:
+        """(mu, sigma) of the target series, each (B, pred_len, c_out).
+
+        MSE training (Eq. 18) provably shrinks the sampled variance; this
+        head lets the flow be trained by maximum likelihood instead, so the
+        predicted sigma stays meaningful for uncertainty bands.
+        """
+        z = self._terminal_latent(h_enc, h_dec, deterministic)
+        batch = z.shape[0]
+        mu = self.projection(z).reshape(batch, self.pred_len, self.c_out)
+        sigma = F.softplus(self.scale_projection(z)).reshape(batch, self.pred_len, self.c_out) + 1e-4
+        return mu, sigma
+
+    def nll(self, h_enc: Tensor, h_dec: Tensor, target: Tensor, deterministic: bool = False) -> Tensor:
+        """Gaussian negative log-likelihood of the target series."""
+        mu, sigma = self.output_distribution(h_enc, h_dec, deterministic=deterministic)
+        diff = target.detach() - mu
+        return (F.log(sigma) + 0.5 * (diff * diff) / (sigma * sigma)).mean() + 0.5 * float(np.log(2 * np.pi))
+
+    def sample_distribution(self, h_enc: Tensor, h_dec: Tensor, n_samples: int = 100) -> np.ndarray:
+        """Draws from the explicit output distribution (S, B, pred_len, c_out)."""
+        draws = []
+        for _ in range(n_samples):
+            mu, sigma = self.output_distribution(h_enc, h_dec, deterministic=False)
+            eps = self._rng.normal(size=mu.shape)
+            draws.append(mu.data + sigma.data * eps)
+        return np.stack(draws, axis=0)

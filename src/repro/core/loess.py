@@ -1,0 +1,116 @@
+"""Loess smoothing and STL-style decomposition.
+
+The paper's series decomposition cites STL (Cleveland et al. [45]) but
+implements the moving-average variant (Eq. 9, like Autoformer).  This
+module provides the loess-based alternative as a drop-in:
+
+- :class:`LoessSmoother` — local linear regression with tricube weights.
+  For a fixed length and bandwidth the smoother is a *linear operator*,
+  so we precompute its L x L matrix once and apply it with a matmul —
+  fully differentiable through the autodiff engine and fast.
+- :class:`STLDecomposition` — loess trend + per-phase seasonal means,
+  with the same ``(trend, seasonal_plus_residual)`` contract as
+  :class:`~repro.core.decomp.SeriesDecomposition` so SIRN can swap it in
+  (``ConformerConfig.decomp_kind = "stl"``).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+import numpy as np
+
+from repro.nn import Module
+from repro.tensor import Tensor
+
+
+def loess_matrix(length: int, span: float) -> np.ndarray:
+    """The L x L linear operator of local-linear loess with tricube weights.
+
+    ``span`` is the fraction of points in each local window (0 < span <= 1).
+    Row i of the matrix gives the weights producing the smoothed value at
+    position i.
+    """
+    if not 0.0 < span <= 1.0:
+        raise ValueError(f"span must be in (0, 1], got {span}")
+    window = max(3, int(np.ceil(span * length)))
+    window = min(window, length)
+    positions = np.arange(length, dtype=np.float64)
+    matrix = np.zeros((length, length))
+    for i in range(length):
+        distances = np.abs(positions - i)
+        # the `window` nearest points
+        cutoff = np.partition(distances, window - 1)[window - 1]
+        mask = distances <= cutoff
+        local_x = positions[mask]
+        u = distances[mask] / max(cutoff, 1e-12)
+        weights = (1.0 - u**3) ** 3
+        weights = np.clip(weights, 1e-12, None)
+        # weighted local linear fit evaluated at x = i:
+        # value = e1^T (X^T W X)^-1 X^T W y  with X = [1, x - i]
+        design = np.column_stack([np.ones(local_x.size), local_x - i])
+        wx = design * weights[:, None]
+        gram = design.T @ wx
+        gram += 1e-10 * np.eye(2)
+        solve = np.linalg.solve(gram, wx.T)  # (2, n_local)
+        matrix[i, mask] = solve[0]
+    return matrix
+
+
+class LoessSmoother(Module):
+    """Differentiable loess smoothing over the time axis of (B, L, C).
+
+    The smoothing matrix is cached per sequence length (the operator
+    depends only on (L, span)).
+    """
+
+    def __init__(self, span: float = 0.3) -> None:
+        super().__init__()
+        self.span = span
+        self._cache: Dict[int, np.ndarray] = {}
+
+    def _matrix(self, length: int) -> np.ndarray:
+        if length not in self._cache:
+            self._cache[length] = loess_matrix(length, self.span)
+        return self._cache[length]
+
+    def forward(self, x: Tensor) -> Tensor:
+        matrix = self._matrix(x.shape[1])
+        return Tensor(matrix) @ x  # (L, L) @ (B, L, C) -> (B, L, C)
+
+
+class STLDecomposition(Module):
+    """STL-style decomposition: loess trend, per-phase seasonal, residual.
+
+    Matches the SeriesDecomposition contract: returns ``(trend,
+    seasonal)`` with ``trend + seasonal == input`` — the "seasonal" part
+    here is seasonal + remainder, exactly as Eq. (9) lumps them.
+    When ``period`` is set, the seasonal component is additionally
+    available via :meth:`components`.
+    """
+
+    def __init__(self, span: float = 0.3, period: int | None = None) -> None:
+        super().__init__()
+        self.smoother = LoessSmoother(span)
+        self.period = period
+
+    def forward(self, x: Tensor) -> Tuple[Tensor, Tensor]:
+        trend = self.smoother(x)
+        return trend, x - trend
+
+    def components(self, x: Tensor) -> Tuple[Tensor, Tensor, Tensor]:
+        """Full (trend, seasonal, remainder) split; needs ``period``."""
+        if self.period is None:
+            raise ValueError("components() requires a period")
+        trend, detrended = self.forward(x)
+        length = x.shape[1]
+        phases = np.arange(length) % self.period
+        # per-phase averaging is a constant linear operator -> differentiable
+        phase_matrix = np.zeros((length, length))
+        for p in range(self.period):
+            members = np.where(phases == p)[0]
+            if members.size:
+                phase_matrix[np.ix_(members, members)] = 1.0 / members.size
+        seasonal = Tensor(phase_matrix) @ detrended
+        remainder = detrended - seasonal
+        return trend, seasonal, remainder

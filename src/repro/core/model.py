@@ -1,0 +1,198 @@
+"""The Conformer model (Fig. 1): input representation -> SIRN
+encoder/decoder with sliding-window attention -> normalizing flow.
+
+``forward`` returns the decoder prediction ``y_out`` and the flow
+prediction ``z_out`` (Eq. 18 trains both against the target).  ``predict``
+blends them with the lambda trade-off, and ``predict_with_uncertainty``
+draws flow samples for the quantile bands of Figs. 6-7.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.core.config import ConformerConfig
+from repro.core.flow import NormalizingFlow
+from repro.core.input_repr import InputRepresentation
+from repro.core.sirn import SIRNDecoder, SIRNEncoder
+from repro.nn import Module
+from repro.tensor import Tensor, functional as F, no_grad
+from repro.tensor.random import spawn_rng
+
+
+class Conformer(Module):
+    """End-to-end Conformer for long-term time-series forecasting."""
+
+    def __init__(self, config: ConformerConfig) -> None:
+        super().__init__()
+        self.config = config
+        rng = spawn_rng(config.seed)
+
+        self.enc_repr = InputRepresentation(
+            d_x=config.enc_in,
+            d_model=config.d_model,
+            seq_len=config.input_len,
+            n_scales=config.d_time,
+            variant=config.input_variant,
+            fusion_method=config.fusion_method,
+            rng=rng,
+        )
+        self.dec_repr = InputRepresentation(
+            d_x=config.dec_in,
+            d_model=config.d_model,
+            seq_len=config.dec_len,
+            n_scales=config.d_time,
+            variant=config.input_variant,
+            fusion_method=config.fusion_method,
+            rng=rng,
+        )
+        sirn_kwargs = dict(
+            d_model=config.d_model,
+            n_heads=config.n_heads,
+            window=config.window,
+            moving_avg=config.moving_avg,
+            decomp_iterations=config.decomp_iterations,
+            dropout=config.dropout,
+            attention_type=config.attention_type,
+            decomp_kind=config.decomp_kind,
+            stl_span=config.stl_span,
+            rng=rng,
+        )
+        self.encoder = SIRNEncoder(config.e_layers, rnn_layers=config.enc_rnn_layers, **sirn_kwargs)
+        self.decoder = SIRNDecoder(
+            config.d_layers,
+            c_out=config.c_out,
+            rnn_layers=config.dec_rnn_layers,
+            **sirn_kwargs,
+        )
+        self._flow_inputs: Optional[Tuple[Tensor, Tensor]] = None
+        self.flow: Optional[NormalizingFlow] = None
+        if config.flow_mode != "none":
+            self.flow = NormalizingFlow(
+                d_hidden=config.d_model,
+                latent_dim=config.flow_latent,
+                pred_len=config.pred_len,
+                c_out=config.c_out,
+                n_flows=config.n_flows,
+                mode=config.flow_mode,
+                seed=config.seed + 1,
+                rng=rng,
+            )
+
+    # ------------------------------------------------------------------
+    def _pick_hidden(self, states, which: str) -> Tensor:
+        return states[0] if which == "first" else states[-1]
+
+    def forward(
+        self,
+        x_enc: Tensor,
+        x_mark_enc: Tensor,
+        x_dec: Tensor,
+        y_mark_dec: Tensor,
+        deterministic: bool = False,
+    ) -> Tuple[Tensor, Optional[Tensor]]:
+        """Return (y_out (B, pred_len, c_out), z_out or None)."""
+        enc_in = self.enc_repr(x_enc, x_mark_enc)
+        memory = self.encoder(enc_in)
+        dec_in = self.dec_repr(x_dec, y_mark_dec)
+        dec_out, _ = self.decoder(dec_in, memory)
+        y_out = dec_out[:, -self.config.pred_len :, :]
+
+        z_out = None
+        if self.flow is not None:
+            h_enc = self._pick_hidden(self.encoder.hidden_states(), self.config.flow_hidden_source[0])
+            h_dec = self._pick_hidden(self.decoder.hidden_states(), self.config.flow_hidden_source[1])
+            self._flow_inputs = (h_enc, h_dec)
+            if self.config.flow_loss == "nll":
+                z_out, _ = self.flow.output_distribution(h_enc, h_dec, deterministic=deterministic)
+            else:
+                z_out = self.flow(h_enc, h_dec, deterministic=deterministic)
+        return y_out, z_out
+
+    # ------------------------------------------------------------------
+    def loss(self, y_out: Tensor, z_out: Optional[Tensor], target: Tensor) -> Tensor:
+        """Eq. (18): lambda * MSE(y_out, Y) + (1 - lambda) * MSE(z_out, Y).
+
+        With ``flow_loss='nll'`` the flow term is the Gaussian negative
+        log-likelihood instead — the objective the paper *substituted away*
+        (§IV-D); keeping it available preserves calibrated variances.
+        """
+        lam = self.config.lambda_weight
+        base = F.mse_loss(y_out, target)
+        if z_out is None:
+            return base
+        if self.config.flow_loss == "nll":
+            h_enc, h_dec = self._flow_inputs
+            return lam * base + (1.0 - lam) * self.flow.nll(h_enc, h_dec, target)
+        return lam * base + (1.0 - lam) * F.mse_loss(z_out, target)
+
+    def compute_loss(self, outputs, target: Tensor) -> Tensor:
+        """Trainer protocol: unpack the (y_out, z_out) tuple into Eq. (18)."""
+        y_out, z_out = outputs
+        return self.loss(y_out, z_out, target)
+
+    def point_forecast(self, outputs) -> np.ndarray:
+        """Trainer protocol: lambda-weighted blend of the two heads."""
+        y_out, z_out = outputs
+        if z_out is None:
+            return y_out.data
+        lam = self.config.lambda_weight
+        return lam * y_out.data + (1.0 - lam) * z_out.data
+
+    def predict(self, x_enc, x_mark_enc, x_dec, y_mark_dec) -> np.ndarray:
+        """Point forecast: lambda-weighted blend of decoder and flow heads."""
+        was_training = self.training
+        self.eval()
+        try:
+            with no_grad():
+                y_out, z_out = self.forward(
+                    _t(x_enc), _t(x_mark_enc), _t(x_dec), _t(y_mark_dec), deterministic=True
+                )
+            if z_out is None:
+                return y_out.data
+            lam = self.config.lambda_weight
+            return lam * y_out.data + (1.0 - lam) * z_out.data
+        finally:
+            self.train(was_training)
+
+    def predict_with_uncertainty(
+        self,
+        x_enc,
+        x_mark_enc,
+        x_dec,
+        y_mark_dec,
+        n_samples: int = 100,
+        quantiles: Tuple[float, ...] = (0.05, 0.25, 0.75, 0.95),
+    ) -> Dict[str, np.ndarray]:
+        """Sample the flow head for uncertainty bands (Figs. 6-7).
+
+        Returns a dict with the deterministic 'point' forecast, the sample
+        'mean', and one array per requested quantile keyed ``"q0.05"`` etc.
+        Samples blend decoder and flow heads with the lambda trade-off.
+        """
+        if self.flow is None:
+            raise RuntimeError("uncertainty requires flow_mode != 'none'")
+        was_training = self.training
+        self.eval()
+        try:
+            with no_grad():
+                y_out, _ = self.forward(_t(x_enc), _t(x_mark_enc), _t(x_dec), _t(y_mark_dec), deterministic=True)
+                h_enc, h_dec = self._flow_inputs
+                if self.config.flow_loss == "nll":
+                    z_samples = self.flow.sample_distribution(h_enc, h_dec, n_samples=n_samples)
+                else:
+                    z_samples = self.flow.sample(h_enc, h_dec, n_samples=n_samples)  # (S, B, L, C)
+            lam = self.config.lambda_weight
+            blended = lam * y_out.data[None] + (1.0 - lam) * z_samples
+            result = {"point": blended.mean(axis=0), "mean": blended.mean(axis=0), "samples": blended}
+            for q in quantiles:
+                result[f"q{q}"] = np.quantile(blended, q, axis=0)
+            return result
+        finally:
+            self.train(was_training)
+
+
+def _t(value) -> Tensor:
+    return value if isinstance(value, Tensor) else Tensor(value)

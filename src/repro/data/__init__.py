@@ -1,0 +1,28 @@
+"""Data substrate: synthetic datasets, splits, windows, scalers, marks."""
+
+from repro.data import augment
+from repro.data.datasets import TimeSeriesDataset, available_datasets, load_dataset
+from repro.data.scalers import MinMaxScaler, StandardScaler
+from repro.data.timefeatures import (
+    RESOLUTIONS,
+    make_timestamps,
+    resolution_set_for_freq,
+    time_features,
+)
+from repro.data.windows import DataLoader, WindowSample, WindowedDataset
+
+__all__ = [
+    "augment",
+    "TimeSeriesDataset",
+    "available_datasets",
+    "load_dataset",
+    "StandardScaler",
+    "MinMaxScaler",
+    "RESOLUTIONS",
+    "time_features",
+    "make_timestamps",
+    "resolution_set_for_freq",
+    "DataLoader",
+    "WindowSample",
+    "WindowedDataset",
+]

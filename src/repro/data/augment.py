@@ -1,0 +1,83 @@
+"""Time-series augmentations for representation learning.
+
+Used by contrastive methods (TS2Vec-style) and available for training
+robustness experiments: jitter, scaling, magnitude warp, random crops,
+time masking, and window slicing.  All functions take (B, L, C) arrays
+and a seeded Generator so experiments stay reproducible.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+
+def jitter(x: np.ndarray, rng: np.random.Generator, sigma: float = 0.05) -> np.ndarray:
+    """Additive Gaussian noise."""
+    return x + rng.normal(0.0, sigma, size=x.shape)
+
+
+def scaling(x: np.ndarray, rng: np.random.Generator, sigma: float = 0.1) -> np.ndarray:
+    """Per-channel multiplicative scaling drawn around 1."""
+    factors = rng.normal(1.0, sigma, size=(x.shape[0], 1, x.shape[2]))
+    return x * factors
+
+
+def magnitude_warp(x: np.ndarray, rng: np.random.Generator, sigma: float = 0.2, n_knots: int = 4) -> np.ndarray:
+    """Smooth time-varying amplitude modulation via a random spline."""
+    batch, length, channels = x.shape
+    knot_positions = np.linspace(0, length - 1, n_knots)
+    grid = np.arange(length)
+    warps = np.empty((batch, length, channels))
+    for b in range(batch):
+        for c in range(channels):
+            knots = rng.normal(1.0, sigma, size=n_knots)
+            warps[b, :, c] = np.interp(grid, knot_positions, knots)
+    return x * warps
+
+
+def time_mask(x: np.ndarray, rng: np.random.Generator, mask_frac: float = 0.15) -> np.ndarray:
+    """Zero out a contiguous time span (per batch element)."""
+    if not 0.0 <= mask_frac < 1.0:
+        raise ValueError("mask_frac must be in [0, 1)")
+    out = x.copy()
+    length = x.shape[1]
+    span = max(1, int(length * mask_frac))
+    for b in range(x.shape[0]):
+        start = int(rng.integers(0, length - span + 1))
+        out[b, start : start + span, :] = 0.0
+    return out
+
+
+def random_crop_pair(
+    x: np.ndarray, rng: np.random.Generator, crop_len: int
+) -> Tuple[np.ndarray, np.ndarray, Tuple[int, int], Tuple[int, int]]:
+    """Two overlapping random crops (the TS2Vec contrastive view pair).
+
+    Returns (view_a, view_b, (start_a, end_a), (start_b, end_b)) with a
+    guaranteed non-empty overlap.
+    """
+    length = x.shape[1]
+    if crop_len > length:
+        raise ValueError(f"crop_len {crop_len} exceeds series length {length}")
+    if crop_len == length:
+        return x, x, (0, length), (0, length)
+    max_start = length - crop_len
+    start_a = int(rng.integers(0, max_start + 1))
+    # force overlap: b starts within a's span
+    low = max(0, start_a - crop_len + 1)
+    high = min(max_start, start_a + crop_len - 1)
+    start_b = int(rng.integers(low, high + 1))
+    view_a = x[:, start_a : start_a + crop_len, :]
+    view_b = x[:, start_b : start_b + crop_len, :]
+    return view_a, view_b, (start_a, start_a + crop_len), (start_b, start_b + crop_len)
+
+
+def overlap_slices(span_a: Tuple[int, int], span_b: Tuple[int, int]) -> Tuple[slice, slice]:
+    """Index slices selecting the shared region inside each crop."""
+    lo = max(span_a[0], span_b[0])
+    hi = min(span_a[1], span_b[1])
+    if hi <= lo:
+        raise ValueError(f"crops {span_a} and {span_b} do not overlap")
+    return slice(lo - span_a[0], hi - span_a[0]), slice(lo - span_b[0], hi - span_b[0])

@@ -1,0 +1,153 @@
+"""Dataset registry, chronological splits, and the TimeSeriesDataset type.
+
+``load_dataset("etth1")`` returns a :class:`TimeSeriesDataset` with
+train/val/test boundaries following the paper's per-dataset ratios
+(Table I and §V-A1).  Pass ``n_points`` to get a shorter series for
+CPU-scale experiments — the split *ratios* are preserved.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.data import generators
+from repro.data.scalers import StandardScaler
+from repro.data.timefeatures import resolution_set_for_freq, time_features
+
+
+@dataclass
+class TimeSeriesDataset:
+    """A multivariate series with chronological train/val/test boundaries."""
+
+    name: str
+    values: np.ndarray  # (N, D) raw values
+    timestamps: np.ndarray  # (N,) datetime64
+    target_index: int
+    freq: str
+    split_ratios: Tuple[float, float, float]
+    description: str = ""
+    scaler: StandardScaler = field(default_factory=StandardScaler)
+
+    def __post_init__(self) -> None:
+        if abs(sum(self.split_ratios) - 1.0) > 1e-9:
+            raise ValueError(f"split ratios must sum to 1, got {self.split_ratios}")
+        n = len(self.values)
+        n_train = int(n * self.split_ratios[0])
+        n_val = int(n * self.split_ratios[1])
+        self._bounds = (0, n_train, n_train + n_val, n)
+        self.scaler.fit(self.values[:n_train])
+
+    # -- basic views ------------------------------------------------------
+    @property
+    def n_points(self) -> int:
+        return len(self.values)
+
+    @property
+    def n_dims(self) -> int:
+        return self.values.shape[1]
+
+    def split(self, part: str) -> Tuple[np.ndarray, np.ndarray]:
+        """Return (scaled values, timestamps) for 'train'/'val'/'test'.
+
+        Scaling uses train-set statistics everywhere (standard protocol).
+        """
+        index = {"train": 0, "val": 1, "test": 2}
+        try:
+            i = index[part]
+        except KeyError:
+            raise ValueError(f"part must be train/val/test, got {part!r}") from None
+        lo, hi = self._bounds[i], self._bounds[i + 1]
+        return self.scaler.transform(self.values[lo:hi]), self.timestamps[lo:hi]
+
+    def marks(self, timestamps: np.ndarray) -> np.ndarray:
+        """Calendar features for the dataset's default resolution set."""
+        return time_features(timestamps, resolution_set_for_freq(self.freq))
+
+    def univariate(self) -> "TimeSeriesDataset":
+        """Project onto the target variable only (paper's univariate setting)."""
+        return TimeSeriesDataset(
+            name=f"{self.name}-uni",
+            values=self.values[:, [self.target_index]],
+            timestamps=self.timestamps,
+            target_index=0,
+            freq=self.freq,
+            split_ratios=self.split_ratios,
+            description=self.description + " (univariate target projection)",
+        )
+
+    def summary(self) -> Dict[str, object]:
+        """Table I-style row: dims, span, points, target, interval."""
+        return {
+            "name": self.name,
+            "n_dims": self.n_dims,
+            "n_points": self.n_points,
+            "start": str(self.timestamps[0])[:10],
+            "end": str(self.timestamps[-1])[:10],
+            "target_index": self.target_index,
+            "interval": self.freq,
+        }
+
+
+# -- registry --------------------------------------------------------------
+# paper split ratios: ETTh1/ECL 12/2/2 months, ETTm1/Weather/Wind 12/1/1 or
+# 10/1/1 months, Exchange 16/2/2 years, AirDelay 7:1:2.
+def _ratio(train: float, val: float, test: float) -> Tuple[float, float, float]:
+    total = train + val + test
+    return (train / total, val / total, test / total)
+
+
+_REGISTRY: Dict[str, Tuple[Callable[..., generators.GeneratedSeries], Tuple[float, float, float]]] = {
+    "etth1": (generators.generate_etth1, _ratio(12, 2, 2)),
+    "ettm1": (generators.generate_ettm1, _ratio(12, 1, 1)),
+    "ecl": (generators.generate_ecl, _ratio(12, 2, 2)),
+    "weather": (generators.generate_weather, _ratio(10, 1, 1)),
+    "exchange": (generators.generate_exchange, _ratio(16, 2, 2)),
+    "wind": (generators.generate_wind, _ratio(12, 1, 1)),
+    "airdelay": (generators.generate_airdelay, _ratio(7, 1, 2)),
+}
+
+
+def available_datasets() -> list:
+    """Names accepted by :func:`load_dataset`."""
+    return sorted(_REGISTRY)
+
+
+def load_dataset(
+    name: str,
+    n_points: Optional[int] = None,
+    seed: int = 0,
+    **generator_kwargs,
+) -> TimeSeriesDataset:
+    """Instantiate a synthetic dataset by name.
+
+    Parameters
+    ----------
+    name:
+        One of :func:`available_datasets` (case-insensitive).
+    n_points:
+        Override the paper's length for fast CPU experiments.
+    seed:
+        Generator seed; different seeds give independent "runs".
+    generator_kwargs:
+        Forwarded to the generator (e.g. ``n_dims`` for ECL).
+    """
+    key = name.lower()
+    try:
+        generator, ratios = _REGISTRY[key]
+    except KeyError:
+        raise ValueError(f"unknown dataset {name!r}; choose from {available_datasets()}") from None
+    if n_points is not None:
+        generator_kwargs["n_points"] = n_points
+    series = generator(seed=seed, **generator_kwargs)
+    return TimeSeriesDataset(
+        name=series.name,
+        values=series.values,
+        timestamps=series.timestamps,
+        target_index=series.target_index,
+        freq=series.freq,
+        split_ratios=ratios,
+        description=series.description,
+    )

@@ -1,0 +1,125 @@
+"""Dataset persistence and external-CSV ingestion.
+
+The synthetic generators stand in for the paper's datasets in this
+sandbox, but a downstream user has the real CSVs (ETTh1.csv, ECL, ...).
+This module makes the two worlds interchangeable:
+
+- :func:`save_dataset` / :func:`load_saved_dataset` — .npz round-trip of
+  a :class:`~repro.data.datasets.TimeSeriesDataset` (values, timestamps,
+  metadata).
+- :func:`export_csv` / :func:`load_csv` — Informer-convention CSV
+  (``date`` column + one column per variable), so the official benchmark
+  files drop straight in.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.data.datasets import TimeSeriesDataset
+
+
+def save_dataset(dataset: TimeSeriesDataset, path: str) -> None:
+    """Persist a dataset (values, timestamps, metadata) to ``.npz``."""
+    meta = {
+        "name": dataset.name,
+        "target_index": dataset.target_index,
+        "freq": dataset.freq,
+        "split_ratios": list(dataset.split_ratios),
+        "description": dataset.description,
+    }
+    np.savez(
+        path,
+        values=dataset.values,
+        timestamps=dataset.timestamps.astype("datetime64[s]").astype(np.int64),
+        meta=json.dumps(meta),
+    )
+
+
+def load_saved_dataset(path: str) -> TimeSeriesDataset:
+    """Load a dataset written by :func:`save_dataset`."""
+    with np.load(path, allow_pickle=False) as archive:
+        meta = json.loads(str(archive["meta"]))
+        values = archive["values"]
+        timestamps = archive["timestamps"].astype("datetime64[s]")
+    return TimeSeriesDataset(
+        name=meta["name"],
+        values=values,
+        timestamps=timestamps,
+        target_index=int(meta["target_index"]),
+        freq=meta["freq"],
+        split_ratios=tuple(meta["split_ratios"]),
+        description=meta["description"],
+    )
+
+
+def export_csv(dataset: TimeSeriesDataset, path: str, column_names: Optional[list] = None) -> None:
+    """Write the Informer-style CSV: ``date,<var0>,<var1>,...``."""
+    n_dims = dataset.n_dims
+    if column_names is None:
+        column_names = [f"var{i}" for i in range(n_dims)]
+    if len(column_names) != n_dims:
+        raise ValueError(f"need {n_dims} column names, got {len(column_names)}")
+    stamps = dataset.timestamps.astype("datetime64[s]").astype(str)
+    with open(path, "w") as handle:
+        handle.write("date," + ",".join(column_names) + "\n")
+        for stamp, row in zip(stamps, dataset.values):
+            cells = ",".join(f"{v:.10g}" for v in row)
+            handle.write(f"{stamp.replace('T', ' ')},{cells}\n")
+
+
+def load_csv(
+    path: str,
+    name: Optional[str] = None,
+    target: Optional[str] = None,
+    freq: str = "h",
+    split_ratios: Tuple[float, float, float] = (0.7, 0.1, 0.2),
+) -> TimeSeriesDataset:
+    """Load an Informer-convention CSV (first column ``date``).
+
+    Parameters
+    ----------
+    target:
+        Name of the target column (default: the last column, matching the
+        ETT/ECL convention of putting 'OT'/target last).
+    """
+    path = Path(path)
+    with open(path) as handle:
+        header = handle.readline().strip().split(",")
+        if not header or header[0].lower() != "date":
+            raise ValueError(f"{path}: expected a leading 'date' column, got {header[:1]}")
+        columns = header[1:]
+        stamps = []
+        rows = []
+        for line_no, line in enumerate(handle, start=2):
+            line = line.strip()
+            if not line:
+                continue
+            cells = line.split(",")
+            if len(cells) != len(columns) + 1:
+                raise ValueError(f"{path}:{line_no}: expected {len(columns) + 1} cells, got {len(cells)}")
+            stamps.append(np.datetime64(cells[0].replace(" ", "T")))
+            rows.append([float(c) for c in cells[1:]])
+    if not rows:
+        raise ValueError(f"{path}: no data rows")
+    values = np.asarray(rows, dtype=np.float64)
+    if target is None:
+        target_index = len(columns) - 1
+    else:
+        try:
+            target_index = columns.index(target)
+        except ValueError:
+            raise ValueError(f"target column {target!r} not in {columns}") from None
+    return TimeSeriesDataset(
+        name=name or path.stem,
+        values=values,
+        timestamps=np.asarray(stamps, dtype="datetime64[s]"),
+        target_index=target_index,
+        freq=freq,
+        split_ratios=split_ratios,
+        description=f"loaded from {path.name}",
+    )

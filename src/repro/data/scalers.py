@@ -1,0 +1,63 @@
+"""Feature scalers fit on training data only (no test leakage)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class StandardScaler:
+    """Per-channel zero-mean/unit-variance scaling."""
+
+    def __init__(self) -> None:
+        self.mean_: np.ndarray | None = None
+        self.std_: np.ndarray | None = None
+
+    def fit(self, values: np.ndarray) -> "StandardScaler":
+        values = np.asarray(values, dtype=np.float64)
+        self.mean_ = values.mean(axis=0)
+        self.std_ = values.std(axis=0)
+        self.std_ = np.where(self.std_ < 1e-12, 1.0, self.std_)
+        return self
+
+    def transform(self, values: np.ndarray) -> np.ndarray:
+        self._check_fitted()
+        return (np.asarray(values, dtype=np.float64) - self.mean_) / self.std_
+
+    def inverse_transform(self, values: np.ndarray) -> np.ndarray:
+        self._check_fitted()
+        return np.asarray(values, dtype=np.float64) * self.std_ + self.mean_
+
+    def fit_transform(self, values: np.ndarray) -> np.ndarray:
+        return self.fit(values).transform(values)
+
+    def _check_fitted(self) -> None:
+        if self.mean_ is None:
+            raise RuntimeError("scaler used before fit()")
+
+
+class MinMaxScaler:
+    """Per-channel scaling to [0, 1] on the training range."""
+
+    def __init__(self) -> None:
+        self.min_: np.ndarray | None = None
+        self.range_: np.ndarray | None = None
+
+    def fit(self, values: np.ndarray) -> "MinMaxScaler":
+        values = np.asarray(values, dtype=np.float64)
+        self.min_ = values.min(axis=0)
+        spread = values.max(axis=0) - self.min_
+        self.range_ = np.where(spread < 1e-12, 1.0, spread)
+        return self
+
+    def transform(self, values: np.ndarray) -> np.ndarray:
+        if self.min_ is None:
+            raise RuntimeError("scaler used before fit()")
+        return (np.asarray(values, dtype=np.float64) - self.min_) / self.range_
+
+    def inverse_transform(self, values: np.ndarray) -> np.ndarray:
+        if self.min_ is None:
+            raise RuntimeError("scaler used before fit()")
+        return np.asarray(values, dtype=np.float64) * self.range_ + self.min_
+
+    def fit_transform(self, values: np.ndarray) -> np.ndarray:
+        return self.fit(values).transform(values)

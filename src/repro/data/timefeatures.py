@@ -1,0 +1,96 @@
+"""Calendar time features and multiscale resolution sampling.
+
+The paper embeds timestamps at multiple temporal resolutions
+(second/minute/hour/day/week/month/year — §IV-A2).  We encode each
+resolution as a value normalized to [-0.5, 0.5], matching the
+Informer-family "time feature" convention; the multiscale-dynamics block
+consumes the per-resolution columns separately.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+RESOLUTIONS = ("second", "minute", "hour", "day", "week", "month", "year")
+
+# sensible temporal-resolution sets per sampling interval
+DEFAULT_RESOLUTION_SETS = {
+    "10min": ("minute", "hour", "day", "week"),
+    "15min": ("minute", "hour", "day", "week"),
+    "h": ("hour", "day", "week", "month"),
+    "d": ("day", "week", "month", "year"),
+    "irregular": ("minute", "hour", "day", "week"),
+}
+
+
+def _components(timestamps: np.ndarray) -> dict:
+    """Decompose datetime64 timestamps into calendar components."""
+    ts = timestamps.astype("datetime64[s]")
+    days = ts.astype("datetime64[D]")
+    years = ts.astype("datetime64[Y]")
+    months = ts.astype("datetime64[M]")
+    seconds_of_day = (ts - days).astype("timedelta64[s]").astype(np.int64)
+    return {
+        "second": seconds_of_day % 60,
+        "minute": (seconds_of_day // 60) % 60,
+        "hour": seconds_of_day // 3600,
+        # numpy epoch (1970-01-01) was a Thursday -> +3 makes Monday == 0
+        "week": (days.astype(np.int64) + 3) % 7,
+        "day": (days - months).astype("timedelta64[D]").astype(np.int64),
+        "month": (months - years).astype("timedelta64[M]").astype(np.int64),
+        "year": years.astype(np.int64) + 1970,
+    }
+
+
+_SPANS = {
+    "second": 59.0,
+    "minute": 59.0,
+    "hour": 23.0,
+    "week": 6.0,
+    "day": 30.0,
+    "month": 11.0,
+}
+
+
+def time_features(timestamps: np.ndarray, resolutions: Sequence[str] = ("hour", "day", "week", "month")) -> np.ndarray:
+    """Encode timestamps into an (N, len(resolutions)) float matrix in [-0.5, 0.5].
+
+    The ``year`` resolution is centred on the sample's own span so that a
+    multi-year series gets a slowly increasing feature.
+    """
+    comps = _components(np.asarray(timestamps))
+    columns: List[np.ndarray] = []
+    for res in resolutions:
+        if res not in RESOLUTIONS:
+            raise ValueError(f"unknown resolution {res!r}; choose from {RESOLUTIONS}")
+        values = comps[res].astype(np.float64)
+        if res == "year":
+            span = values.max() - values.min()
+            col = (values - values.min()) / span - 0.5 if span > 0 else np.zeros_like(values)
+        else:
+            col = values / _SPANS[res] - 0.5
+        columns.append(col)
+    return np.stack(columns, axis=-1)
+
+
+def resolution_set_for_freq(freq: str) -> tuple:
+    """Pick a default temporal-resolution set S for a sampling frequency."""
+    return DEFAULT_RESOLUTION_SETS.get(freq, ("hour", "day", "week", "month"))
+
+
+def make_timestamps(n: int, freq: str, start: str = "2020-01-01") -> np.ndarray:
+    """Build a regular datetime64 grid of ``n`` points at ``freq``."""
+    start64 = np.datetime64(start)
+    steps = {
+        "10min": np.timedelta64(10, "m"),
+        "15min": np.timedelta64(15, "m"),
+        "h": np.timedelta64(1, "h"),
+        "d": np.timedelta64(1, "D"),
+    }
+    try:
+        step = steps[freq]
+    except KeyError:
+        raise ValueError(f"unknown freq {freq!r}; choose from {sorted(steps)}") from None
+    return start64 + step * np.arange(n)

@@ -1,0 +1,123 @@
+"""Rolling-window forecasting samples (input-Lx / predict-Ly, stride 1).
+
+Each sample follows the Informer-family convention the paper adopts:
+
+- ``x_enc``    (Lx, D)            encoder input
+- ``x_mark``   (Lx, T)            encoder calendar marks
+- ``x_dec``    (label + Ly, D)    decoder input: the last ``label_len``
+                                  steps of the encoder window followed by
+                                  zero-padded target placeholders
+- ``y_mark``   (label + Ly, T)    decoder calendar marks
+- ``y``        (Ly, D)            ground-truth future
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Tuple
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class WindowSample:
+    """One forecasting example."""
+
+    x_enc: np.ndarray
+    x_mark: np.ndarray
+    x_dec: np.ndarray
+    y_mark: np.ndarray
+    y: np.ndarray
+
+
+class WindowedDataset:
+    """Index a (values, marks) series into rolling forecasting windows."""
+
+    def __init__(
+        self,
+        values: np.ndarray,
+        marks: np.ndarray,
+        input_len: int,
+        pred_len: int,
+        label_len: int | None = None,
+        stride: int = 1,
+    ) -> None:
+        if input_len < 1 or pred_len < 1:
+            raise ValueError("input_len and pred_len must be positive")
+        if label_len is None:
+            label_len = input_len // 2
+        if label_len > input_len:
+            raise ValueError("label_len cannot exceed input_len")
+        self.values = np.asarray(values, dtype=np.float64)
+        self.marks = np.asarray(marks, dtype=np.float64)
+        if len(self.values) != len(self.marks):
+            raise ValueError("values and marks must have the same length")
+        self.input_len = input_len
+        self.pred_len = pred_len
+        self.label_len = label_len
+        self.stride = stride
+        usable = len(self.values) - input_len - pred_len + 1
+        self.n_samples = max(0, (usable + stride - 1) // stride)
+
+    def __len__(self) -> int:
+        return self.n_samples
+
+    def __getitem__(self, index: int) -> WindowSample:
+        if not 0 <= index < self.n_samples:
+            raise IndexError(index)
+        start = index * self.stride
+        mid = start + self.input_len
+        end = mid + self.pred_len
+        x_enc = self.values[start:mid]
+        x_mark = self.marks[start:mid]
+        y = self.values[mid:end]
+        label = self.values[mid - self.label_len : mid]
+        zeros = np.zeros((self.pred_len, self.values.shape[1]))
+        x_dec = np.concatenate([label, zeros], axis=0)
+        y_mark = self.marks[mid - self.label_len : end]
+        return WindowSample(x_enc=x_enc, x_mark=x_mark, x_dec=x_dec, y_mark=y_mark, y=y)
+
+    def __iter__(self) -> Iterator[WindowSample]:
+        for i in range(self.n_samples):
+            yield self[i]
+
+
+class DataLoader:
+    """Batch windows into stacked arrays, optionally shuffled per epoch."""
+
+    def __init__(
+        self,
+        dataset: WindowedDataset,
+        batch_size: int = 32,
+        shuffle: bool = False,
+        rng: np.random.Generator | None = None,
+        drop_last: bool = False,
+    ) -> None:
+        self.dataset = dataset
+        self.batch_size = batch_size
+        self.shuffle = shuffle
+        self.rng = rng if rng is not None else np.random.default_rng(0)
+        self.drop_last = drop_last
+
+    def __len__(self) -> int:
+        n = len(self.dataset)
+        if self.drop_last:
+            return n // self.batch_size
+        return (n + self.batch_size - 1) // self.batch_size
+
+    def __iter__(self) -> Iterator[Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray]]:
+        order = np.arange(len(self.dataset))
+        if self.shuffle:
+            self.rng.shuffle(order)
+        for batch_start in range(0, len(order), self.batch_size):
+            idx = order[batch_start : batch_start + self.batch_size]
+            if self.drop_last and len(idx) < self.batch_size:
+                return
+            samples = [self.dataset[i] for i in idx]
+            yield (
+                np.stack([s.x_enc for s in samples]),
+                np.stack([s.x_mark for s in samples]),
+                np.stack([s.x_dec for s in samples]),
+                np.stack([s.y_mark for s in samples]),
+                np.stack([s.y for s in samples]),
+            )

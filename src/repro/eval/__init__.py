@@ -1,0 +1,34 @@
+"""Evaluation utilities: attention-complexity probes, uncertainty bands."""
+
+from repro.eval.complexity import (
+    EfficiencyPoint,
+    efficiency_table,
+    measure_attention,
+    scaling_exponent,
+)
+from repro.eval.uncertainty import (
+    UncertaintyBands,
+    bands_from_samples,
+    blend_uncertainty,
+    evaluate_bands,
+)
+from repro.eval.calibration import BandScaler, ConformalCalibrator, conformal_radius
+from repro.eval.plots import band_chart, heat_row, line_chart, sparkline
+
+__all__ = [
+    "band_chart",
+    "heat_row",
+    "line_chart",
+    "sparkline",
+    "BandScaler",
+    "ConformalCalibrator",
+    "conformal_radius",
+    "EfficiencyPoint",
+    "efficiency_table",
+    "measure_attention",
+    "scaling_exponent",
+    "UncertaintyBands",
+    "bands_from_samples",
+    "blend_uncertainty",
+    "evaluate_bands",
+]

@@ -1,0 +1,129 @@
+"""Computational-efficiency probes for the attention zoo (Fig. 5).
+
+Measures per-forward wall time and peak memory of each attention
+mechanism across sequence lengths, reproducing the paper's comparison of
+sliding-window attention against Full/Prob/LSH/Log/Auto-correlation.
+"""
+
+from __future__ import annotations
+
+import time
+import tracemalloc
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from repro.nn import get_attention
+from repro.tensor import Tensor, no_grad
+
+
+@dataclass
+class EfficiencyPoint:
+    """One (mechanism, length) measurement."""
+
+    mechanism: str
+    length: int
+    seconds: float
+    peak_bytes: int
+
+
+def measure_attention(
+    mechanism_name: str,
+    lengths: Sequence[int],
+    d_head: int = 8,
+    n_heads: int = 2,
+    batch: int = 1,
+    repeats: int = 3,
+    seed: int = 0,
+    **mechanism_kwargs,
+) -> List[EfficiencyPoint]:
+    """Time/memory of one mechanism across sequence lengths (forward only)."""
+    rng = np.random.default_rng(seed)
+    points = []
+    for length in lengths:
+        mech = get_attention(mechanism_name, **mechanism_kwargs)
+        mech.eval()
+        q = Tensor(rng.normal(size=(batch, n_heads, length, d_head)))
+        k = Tensor(rng.normal(size=(batch, n_heads, length, d_head)))
+        v = Tensor(rng.normal(size=(batch, n_heads, length, d_head)))
+        with no_grad():
+            mech(q, k, v)  # warm-up
+            tracemalloc.start()
+            start = time.perf_counter()
+            for _ in range(repeats):
+                mech(q, k, v)
+            elapsed = (time.perf_counter() - start) / repeats
+            _, peak = tracemalloc.get_traced_memory()
+            tracemalloc.stop()
+        points.append(EfficiencyPoint(mechanism_name, length, elapsed, peak))
+    return points
+
+
+def efficiency_table(
+    lengths: Sequence[int],
+    mechanisms: Dict[str, dict] | None = None,
+    **measure_kwargs,
+) -> Dict[str, List[EfficiencyPoint]]:
+    """Fig. 5 data: every mechanism measured on the same length ladder."""
+    if mechanisms is None:
+        mechanisms = {
+            "sliding_window": {"window": 2},
+            "full": {},
+            "prob_sparse": {"factor": 5},
+            "lsh": {"bucket_length": 24},
+            "log_sparse": {},
+            "auto_correlation": {"factor": 1},
+        }
+    return {
+        name: measure_attention(name, lengths, **kwargs, **measure_kwargs)
+        for name, kwargs in mechanisms.items()
+    }
+
+
+def measure_model(
+    build_fn,
+    lengths: Sequence[int],
+    enc_in: int = 4,
+    d_time: int = 4,
+    batch: int = 1,
+    repeats: int = 2,
+    seed: int = 0,
+) -> List[EfficiencyPoint]:
+    """End-to-end forward time/memory of a forecaster across input lengths.
+
+    The paper defers "computational costs of other components" to future
+    work (§V-I Discussion); this probe provides them: ``build_fn(input_len,
+    label_len, pred_len)`` must return a forecaster following the standard
+    protocol, which is then timed on full forward passes.
+    """
+    rng = np.random.default_rng(seed)
+    points = []
+    for length in lengths:
+        label_len = length // 2
+        pred_len = length // 2
+        model = build_fn(length, label_len, pred_len)
+        model.eval()
+        x_enc = Tensor(rng.normal(size=(batch, length, enc_in)))
+        x_mark = Tensor(rng.normal(size=(batch, length, d_time)))
+        x_dec = Tensor(rng.normal(size=(batch, label_len + pred_len, enc_in)))
+        y_mark = Tensor(rng.normal(size=(batch, label_len + pred_len, d_time)))
+        with no_grad():
+            model(x_enc, x_mark, x_dec, y_mark)  # warm-up
+            tracemalloc.start()
+            start = time.perf_counter()
+            for _ in range(repeats):
+                model(x_enc, x_mark, x_dec, y_mark)
+            elapsed = (time.perf_counter() - start) / repeats
+            _, peak = tracemalloc.get_traced_memory()
+            tracemalloc.stop()
+        points.append(EfficiencyPoint("model", length, elapsed, peak))
+    return points
+
+
+def scaling_exponent(points: List[EfficiencyPoint]) -> float:
+    """Least-squares slope of log(time) vs log(L) — ~1 linear, ~2 quadratic."""
+    lengths = np.log([p.length for p in points])
+    seconds = np.log([max(p.seconds, 1e-9) for p in points])
+    slope, _ = np.polyfit(lengths, seconds, 1)
+    return float(slope)

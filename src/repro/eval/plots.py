@@ -1,0 +1,102 @@
+"""Terminal visualization: sparklines, line charts, and heat rows.
+
+No plotting backend exists in this sandbox, so the examples and
+benchmark reports render forecasts as unicode block graphics — enough to
+see band widths, tracking quality, and per-variable rhythm contrasts.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+_BLOCKS = "▁▂▃▄▅▆▇█"
+
+
+def sparkline(values: Sequence[float], lo: Optional[float] = None, hi: Optional[float] = None) -> str:
+    """One-line unicode sparkline of a series."""
+    arr = np.asarray(list(values), dtype=np.float64)
+    if arr.size == 0:
+        return ""
+    lo = float(arr.min() if lo is None else lo)
+    hi = float(arr.max() if hi is None else hi)
+    if hi - lo < 1e-12:
+        return _BLOCKS[0] * arr.size
+    scaled = np.clip((arr - lo) / (hi - lo) * (len(_BLOCKS) - 1), 0, len(_BLOCKS) - 1)
+    return "".join(_BLOCKS[int(round(s))] for s in scaled)
+
+
+def heat_row(values: Sequence[float], lo: Optional[float] = None, hi: Optional[float] = None) -> str:
+    """Heatmap-style row using shade characters (Fig. 2-style)."""
+    shades = " ░▒▓█"
+    arr = np.asarray(list(values), dtype=np.float64)
+    lo = float(arr.min() if lo is None else lo)
+    hi = float(arr.max() if hi is None else hi)
+    if hi - lo < 1e-12:
+        return shades[0] * arr.size
+    scaled = np.clip((arr - lo) / (hi - lo) * (len(shades) - 1), 0, len(shades) - 1)
+    return "".join(shades[int(round(s))] for s in scaled)
+
+
+def line_chart(
+    series: dict,
+    height: int = 10,
+    width: Optional[int] = None,
+    labels: bool = True,
+) -> str:
+    """Multi-series ASCII chart; each entry of ``series`` is name -> 1-D array.
+
+    Series are drawn with distinct markers on a shared y-scale.
+    """
+    markers = "*+ox#@%"
+    arrays = {name: np.asarray(vals, dtype=np.float64) for name, vals in series.items()}
+    if not arrays:
+        return ""
+    n = max(len(a) for a in arrays.values())
+    width = width or n
+    lo = min(a.min() for a in arrays.values())
+    hi = max(a.max() for a in arrays.values())
+    span = hi - lo if hi > lo else 1.0
+    grid = [[" "] * width for _ in range(height)]
+    for idx, (name, arr) in enumerate(arrays.items()):
+        marker = markers[idx % len(markers)]
+        xs = np.linspace(0, width - 1, len(arr)).astype(int)
+        for x, value in zip(xs, arr):
+            y = int(round((value - lo) / span * (height - 1)))
+            grid[height - 1 - y][x] = marker
+    lines = ["".join(row) for row in grid]
+    if labels:
+        legend = "  ".join(f"{markers[i % len(markers)]}={name}" for i, name in enumerate(arrays))
+        lines.append(f"[{lo:+.2f} .. {hi:+.2f}]  {legend}")
+    return "\n".join(lines)
+
+
+def band_chart(
+    point: np.ndarray,
+    lower: np.ndarray,
+    upper: np.ndarray,
+    truth: Optional[np.ndarray] = None,
+    height: int = 10,
+) -> str:
+    """Forecast band rendering: '.' fills the band, '*' point, 'o' truth."""
+    point, lower, upper = (np.asarray(a, dtype=np.float64).ravel() for a in (point, lower, upper))
+    n = len(point)
+    stacked = [lower, upper, point] + ([np.asarray(truth).ravel()] if truth is not None else [])
+    lo = min(a.min() for a in stacked)
+    hi = max(a.max() for a in stacked)
+    span = hi - lo if hi > lo else 1.0
+
+    def row_of(value: float) -> int:
+        return height - 1 - int(round((value - lo) / span * (height - 1)))
+
+    grid = [[" "] * n for _ in range(height)]
+    for x in range(n):
+        top, bottom = row_of(upper[x]), row_of(lower[x])
+        for y in range(top, bottom + 1):
+            grid[y][x] = "."
+        grid[row_of(point[x])][x] = "*"
+        if truth is not None:
+            grid[row_of(np.asarray(truth).ravel()[x])][x] = "o"
+    legend = "'.'=band  '*'=point" + ("  'o'=truth" if truth is not None else "")
+    return "\n".join("".join(row) for row in grid) + f"\n[{lo:+.2f} .. {hi:+.2f}]  {legend}"

@@ -1,0 +1,73 @@
+"""Uncertainty-quantification evaluation (Figs. 6-7).
+
+Builds quantile bands from Conformer's flow samples and scores them with
+coverage/sharpness, including the paper's lambda sweep (how much weight
+the flow head gets) and the #transformations sweep of Fig. 7.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Sequence
+
+import numpy as np
+
+from repro.training import metrics as M
+
+
+@dataclass
+class UncertaintyBands:
+    """Point forecast plus symmetric quantile bands for one batch."""
+
+    point: np.ndarray  # (B, L, C)
+    lower: Dict[float, np.ndarray]  # per coverage level
+    upper: Dict[float, np.ndarray]
+
+    def coverage(self, target: np.ndarray, level: float) -> float:
+        return M.coverage(self.lower[level], self.upper[level], target)
+
+    def width(self, level: float) -> float:
+        return M.interval_width(self.lower[level], self.upper[level])
+
+
+def bands_from_samples(samples: np.ndarray, levels: Sequence[float] = (0.8, 0.9, 0.95)) -> UncertaintyBands:
+    """Central quantile bands from (S, B, L, C) forecast samples."""
+    samples = np.asarray(samples)
+    if samples.ndim != 4:
+        raise ValueError(f"expected (S, B, L, C) samples, got shape {samples.shape}")
+    lower, upper = {}, {}
+    for level in levels:
+        alpha = (1.0 - level) / 2.0
+        lower[level] = np.quantile(samples, alpha, axis=0)
+        upper[level] = np.quantile(samples, 1.0 - alpha, axis=0)
+    return UncertaintyBands(point=samples.mean(axis=0), lower=lower, upper=upper)
+
+
+def blend_uncertainty(
+    y_out: np.ndarray,
+    flow_samples: np.ndarray,
+    lam: float,
+    levels: Sequence[float] = (0.8, 0.9, 0.95),
+) -> UncertaintyBands:
+    """Fig. 6's lambda mixing: bands of lam*y_out + (1-lam)*flow_samples.
+
+    Smaller lambda weights the flow more, widening the bands — the paper's
+    observation that the NF can "cover the extreme ground truth values if
+    the NF block can be weighted more".
+    """
+    if not 0.0 <= lam <= 1.0:
+        raise ValueError("lam must be in [0, 1]")
+    blended = lam * np.asarray(y_out)[None] + (1.0 - lam) * np.asarray(flow_samples)
+    return bands_from_samples(blended, levels=levels)
+
+
+def evaluate_bands(bands: UncertaintyBands, target: np.ndarray) -> Dict[str, float]:
+    """Coverage and width at each level plus point MSE/MAE."""
+    result: Dict[str, float] = {
+        "mse": M.mse(bands.point, target),
+        "mae": M.mae(bands.point, target),
+    }
+    for level in bands.lower:
+        result[f"coverage@{level}"] = bands.coverage(target, level)
+        result[f"width@{level}"] = bands.width(level)
+    return result

@@ -1,0 +1,96 @@
+"""Input embeddings for time-series transformers.
+
+``DataEmbedding`` = value embedding (circular Conv1d token embedding, as
+in Informer) + learned timestamp embedding + (optional) sinusoidal
+positional encoding.  The paper keeps value+timestamp and drops the
+positional term for Autoformer/Conformer-style models (§V-A2).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+import numpy as np
+
+from repro.nn.layers import Conv1d, Dropout, Linear
+from repro.nn.module import Module, Parameter
+from repro.nn import init
+from repro.tensor import Tensor
+
+
+class PositionalEncoding(Module):
+    """Fixed sinusoidal positional encoding (Vaswani)."""
+
+    def __init__(self, d_model: int, max_len: int = 5000) -> None:
+        super().__init__()
+        position = np.arange(max_len)[:, None]
+        div = np.exp(np.arange(0, d_model, 2) * (-math.log(10000.0) / d_model))
+        table = np.zeros((max_len, d_model))
+        table[:, 0::2] = np.sin(position * div)
+        table[:, 1::2] = np.cos(position * div[: d_model // 2])
+        self._table = table
+
+    def forward(self, x: Tensor) -> Tensor:
+        length = x.shape[1]
+        return x + Tensor(self._table[:length])
+
+
+class TokenEmbedding(Module):
+    """Value embedding: circular Conv1d from d_x channels to d_model."""
+
+    def __init__(self, c_in: int, d_model: int, rng=None) -> None:
+        super().__init__()
+        self.conv = Conv1d(c_in, d_model, kernel_size=3, padding="same", padding_mode="circular", bias=False, rng=rng)
+
+    def forward(self, x: Tensor) -> Tensor:
+        return self.conv(x)
+
+
+class TimeFeatureEmbedding(Module):
+    """Linear embedding of continuous calendar features (d_time -> d_model)."""
+
+    def __init__(self, d_time: int, d_model: int, rng=None) -> None:
+        super().__init__()
+        self.proj = Linear(d_time, d_model, bias=False, rng=rng)
+
+    def forward(self, marks: Tensor) -> Tensor:
+        return self.proj(marks)
+
+
+class DataEmbedding(Module):
+    """value + timestamp (+ optional positional) embedding with dropout."""
+
+    def __init__(
+        self,
+        c_in: int,
+        d_model: int,
+        d_time: int = 5,
+        dropout: float = 0.1,
+        use_position: bool = False,
+        rng=None,
+    ) -> None:
+        super().__init__()
+        self.value = TokenEmbedding(c_in, d_model, rng=rng)
+        self.temporal = TimeFeatureEmbedding(d_time, d_model, rng=rng)
+        self.position = PositionalEncoding(d_model) if use_position else None
+        self.dropout = Dropout(dropout)
+
+    def forward(self, x: Tensor, marks: Optional[Tensor] = None) -> Tensor:
+        out = self.value(x)
+        if marks is not None:
+            out = out + self.temporal(marks)
+        if self.position is not None:
+            out = self.position(out)
+        return self.dropout(out)
+
+
+class Embedding(Module):
+    """Classic lookup-table embedding (integer ids -> vectors)."""
+
+    def __init__(self, num_embeddings: int, embedding_dim: int, rng=None) -> None:
+        super().__init__()
+        self.weight = Parameter(init.normal(num_embeddings, embedding_dim, std=0.1, rng=rng))
+
+    def forward(self, ids: np.ndarray) -> Tensor:
+        return self.weight[np.asarray(ids, dtype=np.int64)]

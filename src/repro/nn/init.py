@@ -1,0 +1,71 @@
+"""Weight initializers (xavier/kaiming/uniform/normal/orthogonal)."""
+
+from __future__ import annotations
+
+import math
+from typing import Tuple
+
+import numpy as np
+
+from repro.tensor.random import default_rng
+
+
+def _fan_in_out(shape: Tuple[int, ...]) -> Tuple[int, int]:
+    if len(shape) == 1:
+        return shape[0], shape[0]
+    if len(shape) == 2:
+        return shape[0], shape[1]
+    receptive = int(np.prod(shape[:-2]))
+    return shape[-2] * receptive, shape[-1] * receptive
+
+
+def xavier_uniform(*shape: int, gain: float = 1.0, rng=None) -> np.ndarray:
+    rng = rng or default_rng()
+    fan_in, fan_out = _fan_in_out(shape)
+    bound = gain * math.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-bound, bound, size=shape)
+
+
+def xavier_normal(*shape: int, gain: float = 1.0, rng=None) -> np.ndarray:
+    rng = rng or default_rng()
+    fan_in, fan_out = _fan_in_out(shape)
+    std = gain * math.sqrt(2.0 / (fan_in + fan_out))
+    return rng.normal(0.0, std, size=shape)
+
+
+def kaiming_uniform(*shape: int, a: float = math.sqrt(5.0), rng=None) -> np.ndarray:
+    rng = rng or default_rng()
+    fan_in, _ = _fan_in_out(shape)
+    gain = math.sqrt(2.0 / (1.0 + a * a))
+    bound = gain * math.sqrt(3.0 / fan_in)
+    return rng.uniform(-bound, bound, size=shape)
+
+
+def uniform(*shape: int, low: float = -0.1, high: float = 0.1, rng=None) -> np.ndarray:
+    rng = rng or default_rng()
+    return rng.uniform(low, high, size=shape)
+
+
+def normal(*shape: int, mean: float = 0.0, std: float = 0.02, rng=None) -> np.ndarray:
+    rng = rng or default_rng()
+    return rng.normal(mean, std, size=shape)
+
+
+def zeros(*shape: int) -> np.ndarray:
+    return np.zeros(shape)
+
+
+def ones(*shape: int) -> np.ndarray:
+    return np.ones(shape)
+
+
+def orthogonal(*shape: int, gain: float = 1.0, rng=None) -> np.ndarray:
+    """Orthogonal init (used for RNN recurrent kernels)."""
+    rng = rng or default_rng()
+    rows, cols = shape[0], int(np.prod(shape[1:]))
+    flat = rng.normal(size=(max(rows, cols), min(rows, cols)))
+    q, r = np.linalg.qr(flat)
+    q = q * np.sign(np.diag(r))
+    if rows < cols:
+        q = q.T
+    return np.ascontiguousarray(gain * q[:rows, :cols].reshape(shape))

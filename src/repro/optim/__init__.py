@@ -1,0 +1,18 @@
+"""Optimizers, LR schedulers, gradient clipping, early stopping."""
+
+from repro.optim.optimizers import SGD, Adam, AdamW, Optimizer
+from repro.optim.lr_scheduler import ExponentialLR, LambdaLR, StepLR
+from repro.optim.clip import clip_grad_norm
+from repro.optim.early_stopping import EarlyStopping
+
+__all__ = [
+    "Optimizer",
+    "SGD",
+    "Adam",
+    "AdamW",
+    "StepLR",
+    "ExponentialLR",
+    "LambdaLR",
+    "clip_grad_norm",
+    "EarlyStopping",
+]

@@ -1,0 +1,22 @@
+"""Gradient clipping by global norm."""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable
+
+from repro.nn.module import Parameter
+
+
+def clip_grad_norm(params: Iterable[Parameter], max_norm: float) -> float:
+    """Scale all gradients so the global L2 norm is at most ``max_norm``.
+
+    Returns the pre-clip norm (useful for logging exploding gradients).
+    """
+    params = [p for p in params if p.grad is not None]
+    total = math.sqrt(sum(float((p.grad**2).sum()) for p in params))
+    if total > max_norm and total > 0:
+        scale = max_norm / total
+        for p in params:
+            p.grad *= scale
+    return total

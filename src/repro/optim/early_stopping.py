@@ -1,0 +1,36 @@
+"""Early stopping on validation loss (paper: patience within 10 epochs)."""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+
+
+class EarlyStopping:
+    """Track validation loss; stop when it fails to improve.
+
+    Keeps a copy of the best state_dict so training can restore the best
+    model afterwards, matching the usual checkpoint-on-best practice.
+    """
+
+    def __init__(self, patience: int = 3, min_delta: float = 0.0) -> None:
+        self.patience = patience
+        self.min_delta = min_delta
+        self.best_loss = float("inf")
+        self.best_state: Optional[Dict[str, np.ndarray]] = None
+        self.counter = 0
+        self.should_stop = False
+
+    def update(self, loss: float, state: Optional[Dict[str, np.ndarray]] = None) -> bool:
+        """Record an epoch's validation loss; return True if improved."""
+        if loss < self.best_loss - self.min_delta:
+            self.best_loss = loss
+            self.counter = 0
+            if state is not None:
+                self.best_state = {k: v.copy() for k, v in state.items()}
+            return True
+        self.counter += 1
+        if self.counter >= self.patience:
+            self.should_stop = True
+        return False

@@ -1,0 +1,55 @@
+"""Learning-rate schedulers operating on an Optimizer's ``lr``."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.optim.optimizers import Optimizer
+
+
+class _Scheduler:
+    def __init__(self, optimizer: Optimizer) -> None:
+        self.optimizer = optimizer
+        self.base_lr = optimizer.lr
+        self.epoch = 0
+
+    def step(self) -> None:
+        self.epoch += 1
+        self.optimizer.lr = self._lr_at(self.epoch)
+
+    def _lr_at(self, epoch: int) -> float:
+        raise NotImplementedError
+
+
+class StepLR(_Scheduler):
+    """Multiply lr by ``gamma`` every ``step_size`` epochs."""
+
+    def __init__(self, optimizer: Optimizer, step_size: int, gamma: float = 0.5) -> None:
+        super().__init__(optimizer)
+        self.step_size = step_size
+        self.gamma = gamma
+
+    def _lr_at(self, epoch: int) -> float:
+        return self.base_lr * self.gamma ** (epoch // self.step_size)
+
+
+class ExponentialLR(_Scheduler):
+    """lr = base_lr * gamma ** epoch (Informer-style halving uses gamma=0.5)."""
+
+    def __init__(self, optimizer: Optimizer, gamma: float = 0.5) -> None:
+        super().__init__(optimizer)
+        self.gamma = gamma
+
+    def _lr_at(self, epoch: int) -> float:
+        return self.base_lr * self.gamma**epoch
+
+
+class LambdaLR(_Scheduler):
+    """lr = base_lr * fn(epoch)."""
+
+    def __init__(self, optimizer: Optimizer, fn: Callable[[int], float]) -> None:
+        super().__init__(optimizer)
+        self.fn = fn
+
+    def _lr_at(self, epoch: int) -> float:
+        return self.base_lr * self.fn(epoch)

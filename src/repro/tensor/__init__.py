@@ -1,0 +1,12 @@
+"""Reverse-mode autodiff engine on numpy.
+
+This package is the substrate that replaces PyTorch for the Conformer
+reproduction: a :class:`Tensor` wrapping a numpy array, a tape-based
+``backward()``, and a functional namespace with the operations the model
+zoo needs (matmul, softmax, convolution, FFT-based correlation, ...).
+"""
+
+from repro.tensor.tensor import Tensor, no_grad, is_grad_enabled
+from repro.tensor import functional
+
+__all__ = ["Tensor", "no_grad", "is_grad_enabled", "functional"]

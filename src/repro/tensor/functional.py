@@ -1,0 +1,505 @@
+"""Functional operations on :class:`~repro.tensor.Tensor`.
+
+Everything the model zoo needs that is not a dunder on ``Tensor`` lives
+here: reductions, activations, softmax, concatenation, padding, 1-D
+convolution/pooling, and losses.  Each op wires its own backward closure.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional, Sequence, Tuple, Union
+
+import numpy as np
+from scipy import special as sp_special
+
+from repro.tensor.tensor import Tensor, ensure_tensor
+
+Axis = Union[None, int, Tuple[int, ...]]
+
+
+# ----------------------------------------------------------------------
+# reductions
+# ----------------------------------------------------------------------
+def _restore_reduced(grad: np.ndarray, shape: Tuple[int, ...], axis: Axis, keepdims: bool) -> np.ndarray:
+    """Broadcast a reduced gradient back to the pre-reduction shape."""
+    if axis is None:
+        return np.broadcast_to(grad, shape)
+    if not keepdims:
+        axes = axis if isinstance(axis, tuple) else (axis,)
+        axes = tuple(a % len(shape) for a in axes)
+        for a in sorted(axes):
+            grad = np.expand_dims(grad, a)
+    return np.broadcast_to(grad, shape)
+
+
+def sum(x: Tensor, axis: Axis = None, keepdims: bool = False) -> Tensor:  # noqa: A001
+    out_data = x.data.sum(axis=axis, keepdims=keepdims)
+
+    def backward(grad: np.ndarray) -> None:
+        if x.requires_grad:
+            x._accumulate(_restore_reduced(grad, x.data.shape, axis, keepdims))
+
+    return Tensor._make(np.asarray(out_data), (x,), "sum", backward)
+
+
+def mean(x: Tensor, axis: Axis = None, keepdims: bool = False) -> Tensor:
+    out_data = x.data.mean(axis=axis, keepdims=keepdims)
+    count = x.data.size / np.asarray(out_data).size
+
+    def backward(grad: np.ndarray) -> None:
+        if x.requires_grad:
+            x._accumulate(_restore_reduced(grad, x.data.shape, axis, keepdims) / count)
+
+    return Tensor._make(np.asarray(out_data), (x,), "mean", backward)
+
+
+def var(x: Tensor, axis: Axis = None, keepdims: bool = False) -> Tensor:
+    """Biased (population) variance, differentiable."""
+    mu = mean(x, axis=axis, keepdims=True)
+    centered = x - mu
+    return mean(centered * centered, axis=axis, keepdims=keepdims)
+
+
+def _extreme(x: Tensor, axis: Axis, keepdims: bool, fn, name: str) -> Tensor:
+    out_data = fn(x.data, axis=axis, keepdims=keepdims)
+    expanded = fn(x.data, axis=axis, keepdims=True)
+    mask = (x.data == expanded).astype(x.data.dtype)
+    mask = mask / mask.sum(axis=axis, keepdims=True)  # split ties evenly
+
+    def backward(grad: np.ndarray) -> None:
+        if x.requires_grad:
+            g = _restore_reduced(grad, x.data.shape, axis, keepdims)
+            x._accumulate(g * mask)
+
+    return Tensor._make(np.asarray(out_data), (x,), name, backward)
+
+
+def max(x: Tensor, axis: Axis = None, keepdims: bool = False) -> Tensor:  # noqa: A001
+    return _extreme(x, axis, keepdims, np.max, "max")
+
+
+def min(x: Tensor, axis: Axis = None, keepdims: bool = False) -> Tensor:  # noqa: A001
+    return _extreme(x, axis, keepdims, np.min, "min")
+
+
+# ----------------------------------------------------------------------
+# elementwise
+# ----------------------------------------------------------------------
+def exp(x: Tensor) -> Tensor:
+    out_data = np.exp(x.data)
+
+    def backward(grad: np.ndarray) -> None:
+        if x.requires_grad:
+            x._accumulate(grad * out_data)
+
+    return Tensor._make(out_data, (x,), "exp", backward)
+
+
+def log(x: Tensor) -> Tensor:
+    out_data = np.log(x.data)
+
+    def backward(grad: np.ndarray) -> None:
+        if x.requires_grad:
+            x._accumulate(grad / x.data)
+
+    return Tensor._make(out_data, (x,), "log", backward)
+
+
+def sqrt(x: Tensor) -> Tensor:
+    out_data = np.sqrt(x.data)
+
+    def backward(grad: np.ndarray) -> None:
+        if x.requires_grad:
+            x._accumulate(grad * 0.5 / out_data)
+
+    return Tensor._make(out_data, (x,), "sqrt", backward)
+
+
+def abs(x: Tensor) -> Tensor:  # noqa: A001
+    out_data = np.abs(x.data)
+
+    def backward(grad: np.ndarray) -> None:
+        if x.requires_grad:
+            x._accumulate(grad * np.sign(x.data))
+
+    return Tensor._make(out_data, (x,), "abs", backward)
+
+
+def clip(x: Tensor, low: float, high: float) -> Tensor:
+    out_data = np.clip(x.data, low, high)
+    mask = ((x.data >= low) & (x.data <= high)).astype(x.data.dtype)
+
+    def backward(grad: np.ndarray) -> None:
+        if x.requires_grad:
+            x._accumulate(grad * mask)
+
+    return Tensor._make(out_data, (x,), "clip", backward)
+
+
+def tanh(x: Tensor) -> Tensor:
+    out_data = np.tanh(x.data)
+
+    def backward(grad: np.ndarray) -> None:
+        if x.requires_grad:
+            x._accumulate(grad * (1.0 - out_data ** 2))
+
+    return Tensor._make(out_data, (x,), "tanh", backward)
+
+
+def sigmoid(x: Tensor) -> Tensor:
+    out_data = sp_special.expit(x.data)
+
+    def backward(grad: np.ndarray) -> None:
+        if x.requires_grad:
+            x._accumulate(grad * out_data * (1.0 - out_data))
+
+    return Tensor._make(out_data, (x,), "sigmoid", backward)
+
+
+def relu(x: Tensor) -> Tensor:
+    out_data = np.maximum(x.data, 0.0)
+    mask = (x.data > 0).astype(x.data.dtype)
+
+    def backward(grad: np.ndarray) -> None:
+        if x.requires_grad:
+            x._accumulate(grad * mask)
+
+    return Tensor._make(out_data, (x,), "relu", backward)
+
+
+def leaky_relu(x: Tensor, negative_slope: float = 0.01) -> Tensor:
+    slope = np.where(x.data > 0, 1.0, negative_slope)
+
+    def backward(grad: np.ndarray) -> None:
+        if x.requires_grad:
+            x._accumulate(grad * slope)
+
+    return Tensor._make(x.data * slope, (x,), "leaky_relu", backward)
+
+
+def elu(x: Tensor, alpha: float = 1.0) -> Tensor:
+    neg = alpha * (np.exp(np.minimum(x.data, 0.0)) - 1.0)
+    out_data = np.where(x.data > 0, x.data, neg)
+    deriv = np.where(x.data > 0, 1.0, neg + alpha)
+
+    def backward(grad: np.ndarray) -> None:
+        if x.requires_grad:
+            x._accumulate(grad * deriv)
+
+    return Tensor._make(out_data, (x,), "elu", backward)
+
+
+def softplus(x: Tensor) -> Tensor:
+    out_data = np.logaddexp(0.0, x.data)
+    sig = sp_special.expit(x.data)
+
+    def backward(grad: np.ndarray) -> None:
+        if x.requires_grad:
+            x._accumulate(grad * sig)
+
+    return Tensor._make(out_data, (x,), "softplus", backward)
+
+
+def erf(x: Tensor) -> Tensor:
+    out_data = sp_special.erf(x.data)
+    deriv = 2.0 / math.sqrt(math.pi) * np.exp(-x.data ** 2)
+
+    def backward(grad: np.ndarray) -> None:
+        if x.requires_grad:
+            x._accumulate(grad * deriv)
+
+    return Tensor._make(out_data, (x,), "erf", backward)
+
+
+def gelu(x: Tensor) -> Tensor:
+    """Exact GELU: x * Phi(x) with Phi the standard normal CDF."""
+    phi = 0.5 * (1.0 + sp_special.erf(x.data / math.sqrt(2.0)))
+    pdf = np.exp(-0.5 * x.data ** 2) / math.sqrt(2.0 * math.pi)
+    out_data = x.data * phi
+    deriv = phi + x.data * pdf
+
+    def backward(grad: np.ndarray) -> None:
+        if x.requires_grad:
+            x._accumulate(grad * deriv)
+
+    return Tensor._make(out_data, (x,), "gelu", backward)
+
+
+def maximum(a: Tensor, b: Tensor) -> Tensor:
+    a, b = ensure_tensor(a), ensure_tensor(b)
+    out_data = np.maximum(a.data, b.data)
+    a_wins = (a.data >= b.data).astype(out_data.dtype)
+
+    def backward(grad: np.ndarray) -> None:
+        if a.requires_grad:
+            a._accumulate(grad * a_wins)
+        if b.requires_grad:
+            b._accumulate(grad * (1.0 - a_wins))
+
+    return Tensor._make(out_data, (a, b), "maximum", backward)
+
+
+def where(condition: np.ndarray, a: Tensor, b: Tensor) -> Tensor:
+    a, b = ensure_tensor(a), ensure_tensor(b)
+    cond = np.asarray(condition, dtype=bool)
+    out_data = np.where(cond, a.data, b.data)
+
+    def backward(grad: np.ndarray) -> None:
+        if a.requires_grad:
+            a._accumulate(np.where(cond, grad, 0.0))
+        if b.requires_grad:
+            b._accumulate(np.where(cond, 0.0, grad))
+
+    return Tensor._make(out_data, (a, b), "where", backward)
+
+
+# ----------------------------------------------------------------------
+# softmax family
+# ----------------------------------------------------------------------
+def softmax(x: Tensor, axis: int = -1) -> Tensor:
+    shifted = x.data - x.data.max(axis=axis, keepdims=True)
+    exps = np.exp(shifted)
+    out_data = exps / exps.sum(axis=axis, keepdims=True)
+
+    def backward(grad: np.ndarray) -> None:
+        if x.requires_grad:
+            inner = (grad * out_data).sum(axis=axis, keepdims=True)
+            x._accumulate(out_data * (grad - inner))
+
+    return Tensor._make(out_data, (x,), "softmax", backward)
+
+
+def log_softmax(x: Tensor, axis: int = -1) -> Tensor:
+    shifted = x.data - x.data.max(axis=axis, keepdims=True)
+    logsumexp = np.log(np.exp(shifted).sum(axis=axis, keepdims=True))
+    out_data = shifted - logsumexp
+    soft = np.exp(out_data)
+
+    def backward(grad: np.ndarray) -> None:
+        if x.requires_grad:
+            x._accumulate(grad - soft * grad.sum(axis=axis, keepdims=True))
+
+    return Tensor._make(out_data, (x,), "log_softmax", backward)
+
+
+# ----------------------------------------------------------------------
+# shape manipulation
+# ----------------------------------------------------------------------
+def concat(tensors: Sequence[Tensor], axis: int = 0) -> Tensor:
+    tensors = [ensure_tensor(t) for t in tensors]
+    out_data = np.concatenate([t.data for t in tensors], axis=axis)
+    sizes = [t.data.shape[axis] for t in tensors]
+    offsets = np.cumsum([0] + sizes)
+
+    def backward(grad: np.ndarray) -> None:
+        for t, start, stop in zip(tensors, offsets[:-1], offsets[1:]):
+            if t.requires_grad:
+                index = [slice(None)] * grad.ndim
+                index[axis] = slice(start, stop)
+                t._accumulate(grad[tuple(index)])
+
+    return Tensor._make(out_data, tuple(tensors), "concat", backward)
+
+
+def stack(tensors: Sequence[Tensor], axis: int = 0) -> Tensor:
+    tensors = [ensure_tensor(t) for t in tensors]
+    out_data = np.stack([t.data for t in tensors], axis=axis)
+
+    def backward(grad: np.ndarray) -> None:
+        slices = np.moveaxis(grad, axis, 0)
+        for t, piece in zip(tensors, slices):
+            if t.requires_grad:
+                t._accumulate(piece)
+
+    return Tensor._make(out_data, tuple(tensors), "stack", backward)
+
+
+def _pad_axis(x: Tensor, axis: int, before: int, after: int, mode: str) -> Tensor:
+    """Pad a single axis; backward folds padded gradients onto sources."""
+    width = [(0, 0)] * x.ndim
+    width[axis] = (before, after)
+    out_data = np.pad(x.data, width, mode=mode)
+    length = x.shape[axis]
+
+    def _sel(start, stop):
+        index = [slice(None)] * x.ndim
+        index[axis] = slice(start, stop)
+        return tuple(index)
+
+    def backward(grad: np.ndarray) -> None:
+        if not x.requires_grad:
+            return
+        core = grad[_sel(before, before + length)].copy()
+        if mode == "constant" or (before == 0 and after == 0):
+            x._accumulate(core)
+            return
+        if mode == "edge":
+            if before:
+                core[_sel(0, 1)] += grad[_sel(0, before)].sum(axis=axis, keepdims=True)
+            if after:
+                core[_sel(length - 1, length)] += grad[_sel(before + length, before + length + after)].sum(
+                    axis=axis, keepdims=True
+                )
+        elif mode == "wrap":
+            if before:
+                core[_sel(length - before, length)] += grad[_sel(0, before)]
+            if after:
+                core[_sel(0, after)] += grad[_sel(before + length, before + length + after)]
+        else:
+            raise NotImplementedError(f"pad backward not implemented for mode={mode!r}")
+        x._accumulate(core)
+
+    return Tensor._make(out_data, (x,), f"pad[{mode}]", backward)
+
+
+def pad(x: Tensor, pad_width: Sequence[Tuple[int, int]], mode: str = "constant") -> Tensor:
+    """Differentiable numpy-style pad. Supports constant/edge/wrap modes."""
+    out = x
+    for axis, (before, after) in enumerate(pad_width):
+        if before or after:
+            out = _pad_axis(out, axis, before, after, mode)
+    return out
+
+
+def split(x: Tensor, sections: int, axis: int = 0) -> list:
+    """Split into equal sections along ``axis`` (np.split semantics)."""
+    size = x.shape[axis]
+    if size % sections:
+        raise ValueError(f"cannot split axis of size {size} into {sections} equal parts")
+    step = size // sections
+    pieces = []
+    for i in range(sections):
+        index = [slice(None)] * x.ndim
+        index[axis] = slice(i * step, (i + 1) * step)
+        pieces.append(x[tuple(index)])
+    return pieces
+
+
+# ----------------------------------------------------------------------
+# convolution & pooling (1-D, batch-first: (B, L, C) layout)
+# ----------------------------------------------------------------------
+def _sliding_windows(data: np.ndarray, kernel: int) -> np.ndarray:
+    """Return a (B, L_out, kernel, C) view of (B, L, C) data."""
+    return np.lib.stride_tricks.sliding_window_view(data, kernel, axis=1).transpose(0, 1, 3, 2)
+
+
+def conv1d(
+    x: Tensor,
+    weight: Tensor,
+    bias: Optional[Tensor] = None,
+    padding: int = 0,
+    padding_mode: str = "constant",
+) -> Tensor:
+    """1-D convolution over (B, L, C_in) with weight (K, C_in, C_out)."""
+    kernel = weight.shape[0]
+    if padding:
+        x_padded = pad(x, ((0, 0), (padding, padding), (0, 0)), mode=padding_mode)
+    else:
+        x_padded = x
+    windows = _sliding_windows(x_padded.data, kernel)  # (B, L_out, K, C_in)
+    out_data = np.einsum("blkc,kco->blo", windows, weight.data, optimize=True)
+    if bias is not None:
+        out_data = out_data + bias.data
+
+    b_out, l_out = out_data.shape[0], out_data.shape[1]
+    l_in = x_padded.shape[1]
+
+    def backward(grad: np.ndarray) -> None:
+        if weight.requires_grad:
+            weight._accumulate(np.einsum("blkc,blo->kco", windows, grad, optimize=True))
+        if bias is not None and bias.requires_grad:
+            bias._accumulate(grad.sum(axis=(0, 1)))
+        if x_padded.requires_grad:
+            grad_x = np.zeros((b_out, l_in, x_padded.shape[2]), dtype=grad.dtype)
+            contrib = np.einsum("blo,kco->blkc", grad, weight.data, optimize=True)
+            for k in range(kernel):
+                grad_x[:, k : k + l_out, :] += contrib[:, :, k, :]
+            x_padded._accumulate(grad_x)
+
+    return Tensor._make(out_data, (x_padded, weight) + ((bias,) if bias is not None else ()), "conv1d", backward)
+
+
+def avg_pool1d(x: Tensor, kernel: int, stride: int = 1, pad_edges: bool = True) -> Tensor:
+    """Moving-average pooling over the time axis of (B, L, C).
+
+    With ``pad_edges`` the series is edge-padded so the output keeps length
+    L — exactly the moving-average trend extractor of Autoformer/Conformer
+    (Eq. 9 in the paper).
+    """
+    if pad_edges:
+        left = (kernel - 1) // 2
+        right = kernel - 1 - left
+        x = pad(x, ((0, 0), (left, right), (0, 0)), mode="edge")
+    windows = _sliding_windows(x.data, kernel)  # (B, L_out, K, C)
+    windows = windows[:, ::stride]
+    out_data = windows.mean(axis=2)
+    l_in = x.shape[1]
+
+    def backward(grad: np.ndarray) -> None:
+        if x.requires_grad:
+            grad_x = np.zeros((grad.shape[0], l_in, grad.shape[2]), dtype=grad.dtype)
+            scaled = grad / kernel
+            for j in range(grad.shape[1]):
+                start = j * stride
+                grad_x[:, start : start + kernel, :] += scaled[:, j : j + 1, :]
+            x._accumulate(grad_x)
+
+    return Tensor._make(out_data, (x,), "avg_pool1d", backward)
+
+
+def max_pool1d(x: Tensor, kernel: int, stride: int) -> Tensor:
+    """Max pooling over the time axis of (B, L, C)."""
+    windows = _sliding_windows(x.data, kernel)[:, ::stride]  # (B, L_out, K, C)
+    out_data = windows.max(axis=2)
+    argmax = windows.argmax(axis=2)  # (B, L_out, C)
+    l_in = x.shape[1]
+
+    def backward(grad: np.ndarray) -> None:
+        if x.requires_grad:
+            grad_x = np.zeros((grad.shape[0], l_in, grad.shape[2]), dtype=grad.dtype)
+            b_idx, j_idx, c_idx = np.indices(argmax.shape)
+            np.add.at(grad_x, (b_idx, j_idx * stride + argmax, c_idx), grad)
+            x._accumulate(grad_x)
+
+    return Tensor._make(out_data, (x,), "max_pool1d", backward)
+
+
+# ----------------------------------------------------------------------
+# losses
+# ----------------------------------------------------------------------
+def mse_loss(prediction: Tensor, target: Tensor) -> Tensor:
+    target = ensure_tensor(target)
+    diff = prediction - target.detach()
+    return mean(diff * diff)
+
+
+def mae_loss(prediction: Tensor, target: Tensor) -> Tensor:
+    target = ensure_tensor(target)
+    return mean(abs(prediction - target.detach()))
+
+
+def huber_loss(prediction: Tensor, target: Tensor, delta: float = 1.0) -> Tensor:
+    target = ensure_tensor(target)
+    diff = prediction - target.detach()
+    absdiff = abs(diff)
+    quadratic = 0.5 * diff * diff
+    linear = delta * absdiff - 0.5 * delta * delta
+    return mean(where(absdiff.data <= delta, quadratic, linear))
+
+
+# ----------------------------------------------------------------------
+# dropout
+# ----------------------------------------------------------------------
+def dropout(x: Tensor, p: float, rng: np.random.Generator, training: bool = True) -> Tensor:
+    """Inverted dropout; identity when not training or p == 0."""
+    if not training or p <= 0.0:
+        return x
+    keep = 1.0 - p
+    mask = (rng.random(x.shape) < keep).astype(x.data.dtype) / keep
+
+    def backward(grad: np.ndarray) -> None:
+        if x.requires_grad:
+            x._accumulate(grad * mask)
+
+    return Tensor._make(x.data * mask, (x,), "dropout", backward)

@@ -1,0 +1,67 @@
+"""Gradient verification against central finite differences.
+
+Public equivalent of ``torch.autograd.gradcheck`` for this engine —
+used by the test suite and available to users extending the op set.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.tensor.tensor import Tensor
+
+
+def numerical_gradient(fn: Callable[[], Tensor], wrt: Tensor, eps: float = 1e-6) -> np.ndarray:
+    """Central-difference gradient of the scalar ``fn()`` w.r.t. ``wrt``.
+
+    ``fn`` must be a closure re-evaluating the computation from ``wrt.data``
+    (mutated in place element by element).
+    """
+    grad = np.zeros_like(wrt.data)
+    for idx in np.ndindex(wrt.data.shape):
+        original = wrt.data[idx]
+        wrt.data[idx] = original + eps
+        upper = fn().item()
+        wrt.data[idx] = original - eps
+        lower = fn().item()
+        wrt.data[idx] = original
+        grad[idx] = (upper - lower) / (2.0 * eps)
+    return grad
+
+
+def gradcheck(
+    fn: Callable[[], Tensor],
+    params: Sequence[Tensor],
+    eps: float = 1e-6,
+    atol: float = 1e-5,
+    rtol: float = 1e-4,
+    raise_on_fail: bool = True,
+) -> bool:
+    """Check autodiff gradients of the scalar ``fn()`` against finite
+    differences for every tensor in ``params``.
+
+    Returns True when all gradients match; raises (or returns False with
+    ``raise_on_fail=False``) otherwise.
+    """
+    for p in params:
+        p.zero_grad()
+    out = fn()
+    if out.size != 1:
+        raise ValueError("gradcheck requires a scalar-valued function")
+    out.backward()
+    for i, p in enumerate(params):
+        if p.grad is None:
+            if raise_on_fail:
+                raise AssertionError(f"parameter #{i} received no gradient")
+            return False
+        expected = numerical_gradient(fn, p, eps=eps)
+        if not np.allclose(p.grad, expected, atol=atol, rtol=rtol):
+            if raise_on_fail:
+                worst = np.abs(p.grad - expected).max()
+                raise AssertionError(
+                    f"gradient mismatch for parameter #{i}: max abs error {worst:.3e}"
+                )
+            return False
+    return True

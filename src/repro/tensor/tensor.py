@@ -1,0 +1,462 @@
+"""The :class:`Tensor` class — a numpy array with reverse-mode autodiff.
+
+Each differentiable operation records its parents and a closure that
+propagates the output gradient back to them.  ``Tensor.backward()`` walks
+the resulting DAG in reverse topological order.  Gradients follow numpy
+broadcasting semantics: a gradient flowing into a broadcasted operand is
+summed over the broadcast axes (see :func:`unbroadcast`).
+"""
+
+from __future__ import annotations
+
+import contextlib
+from typing import Callable, Iterable, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+Arrayable = Union["Tensor", np.ndarray, float, int, list, tuple]
+
+_GRAD_ENABLED = True
+
+
+def is_grad_enabled() -> bool:
+    """Return whether operations currently record gradient tape entries."""
+    return _GRAD_ENABLED
+
+
+@contextlib.contextmanager
+def no_grad():
+    """Context manager that disables gradient recording (like torch.no_grad)."""
+    global _GRAD_ENABLED
+    previous, _GRAD_ENABLED = _GRAD_ENABLED, False
+    try:
+        yield
+    finally:
+        _GRAD_ENABLED = previous
+
+
+def unbroadcast(grad: np.ndarray, shape: Tuple[int, ...]) -> np.ndarray:
+    """Reduce ``grad`` so it matches ``shape`` after numpy broadcasting.
+
+    Sums over leading axes added by broadcasting and over axes where the
+    original dimension was 1 but the broadcast result was larger.
+    """
+    if grad.shape == shape:
+        return grad
+    extra = grad.ndim - len(shape)
+    if extra > 0:
+        grad = grad.sum(axis=tuple(range(extra)))
+    axes = tuple(i for i, dim in enumerate(shape) if dim == 1 and grad.shape[i] != 1)
+    if axes:
+        grad = grad.sum(axis=axes, keepdims=True)
+    return grad.reshape(shape)
+
+
+def _as_array(value: Arrayable, dtype=np.float64) -> np.ndarray:
+    if isinstance(value, Tensor):
+        return value.data
+    return np.asarray(value, dtype=dtype)
+
+
+def ensure_tensor(value: Arrayable) -> "Tensor":
+    """Coerce a scalar/array/Tensor into a Tensor (non-differentiable leaf)."""
+    if isinstance(value, Tensor):
+        return value
+    return Tensor(value)
+
+
+class Tensor:
+    """A numpy-backed tensor that records an autodiff tape.
+
+    Parameters
+    ----------
+    data:
+        Anything ``np.asarray`` accepts. Stored as float64 by default for
+        accurate gradient checks (the engine is CPU/numpy; float64 costs
+        little relative to Python overhead).
+    requires_grad:
+        Whether gradients should accumulate in ``self.grad``.
+    """
+
+    __slots__ = ("data", "requires_grad", "grad", "_backward", "_parents", "_op")
+    __array_priority__ = 100  # ensure ndarray + Tensor defers to Tensor
+
+    def __init__(
+        self,
+        data: Arrayable,
+        requires_grad: bool = False,
+        _parents: Tuple["Tensor", ...] = (),
+        _op: str = "",
+    ) -> None:
+        self.data = _as_array(data)
+        self.requires_grad = bool(requires_grad) and _GRAD_ENABLED
+        self.grad: Optional[np.ndarray] = None
+        self._backward: Optional[Callable[[np.ndarray], None]] = None
+        self._parents = _parents if _GRAD_ENABLED else ()
+        self._op = _op
+
+    # ------------------------------------------------------------------
+    # basic properties
+    # ------------------------------------------------------------------
+    @property
+    def shape(self) -> Tuple[int, ...]:
+        return self.data.shape
+
+    @property
+    def ndim(self) -> int:
+        return self.data.ndim
+
+    @property
+    def size(self) -> int:
+        return self.data.size
+
+    @property
+    def dtype(self):
+        return self.data.dtype
+
+    @property
+    def T(self) -> "Tensor":
+        return self.transpose()
+
+    def __len__(self) -> int:
+        return len(self.data)
+
+    def __repr__(self) -> str:
+        grad_flag = ", requires_grad=True" if self.requires_grad else ""
+        return f"Tensor({np.array2string(self.data, precision=4, threshold=16)}{grad_flag})"
+
+    def numpy(self) -> np.ndarray:
+        """Return the underlying array (a view, not a copy)."""
+        return self.data
+
+    def item(self) -> float:
+        return float(self.data.item())
+
+    def detach(self) -> "Tensor":
+        """Return a new leaf tensor sharing data, cut from the tape."""
+        return Tensor(self.data, requires_grad=False)
+
+    def copy(self) -> "Tensor":
+        return Tensor(self.data.copy(), requires_grad=False)
+
+    def zero_grad(self) -> None:
+        self.grad = None
+
+    # ------------------------------------------------------------------
+    # autodiff machinery
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _make(
+        data: np.ndarray,
+        parents: Iterable["Tensor"],
+        op: str,
+        backward: Callable[[np.ndarray], None],
+    ) -> "Tensor":
+        """Build an op output, wiring the tape only when grad is enabled."""
+        parents = tuple(parents)
+        needs_grad = _GRAD_ENABLED and any(p.requires_grad for p in parents)
+        out = Tensor(data, requires_grad=needs_grad)
+        if needs_grad:
+            out._parents = parents
+            out._op = op
+            out._backward = backward
+        return out
+
+    def _accumulate(self, grad: np.ndarray) -> None:
+        grad = unbroadcast(np.asarray(grad, dtype=self.data.dtype), self.data.shape)
+        if self.grad is None:
+            self.grad = grad.copy() if grad.base is not None else grad
+        else:
+            self.grad = self.grad + grad
+
+    def backward(self, grad: Optional[Arrayable] = None) -> None:
+        """Backpropagate from this tensor through the recorded tape."""
+        if not self.requires_grad:
+            raise RuntimeError("backward() called on a tensor that does not require grad")
+        if grad is None:
+            if self.data.size != 1:
+                raise RuntimeError("grad must be provided for non-scalar outputs")
+            grad = np.ones_like(self.data)
+        seed = np.asarray(_as_array(grad), dtype=self.data.dtype)
+        if seed.shape != self.data.shape:
+            seed = np.broadcast_to(seed, self.data.shape)
+
+        topo: list[Tensor] = []
+        visited: set[int] = set()
+        stack: list[tuple[Tensor, bool]] = [(self, False)]
+        while stack:
+            node, processed = stack.pop()
+            if processed:
+                topo.append(node)
+                continue
+            if id(node) in visited:
+                continue
+            visited.add(id(node))
+            stack.append((node, True))
+            for parent in node._parents:
+                if id(parent) not in visited:
+                    stack.append((parent, False))
+
+        self._accumulate(seed)
+        for node in reversed(topo):
+            if node._backward is not None and node.grad is not None:
+                node._backward(node.grad)
+
+    # ------------------------------------------------------------------
+    # arithmetic — implemented here, richer ops live in functional.py
+    # ------------------------------------------------------------------
+    def __add__(self, other: Arrayable) -> "Tensor":
+        other = ensure_tensor(other)
+        out_data = self.data + other.data
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(grad)
+            if other.requires_grad:
+                other._accumulate(grad)
+
+        return Tensor._make(out_data, (self, other), "add", backward)
+
+    def __radd__(self, other: Arrayable) -> "Tensor":
+        return self.__add__(other)
+
+    def __sub__(self, other: Arrayable) -> "Tensor":
+        other = ensure_tensor(other)
+        out_data = self.data - other.data
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(grad)
+            if other.requires_grad:
+                other._accumulate(-grad)
+
+        return Tensor._make(out_data, (self, other), "sub", backward)
+
+    def __rsub__(self, other: Arrayable) -> "Tensor":
+        return ensure_tensor(other).__sub__(self)
+
+    def __mul__(self, other: Arrayable) -> "Tensor":
+        other = ensure_tensor(other)
+        out_data = self.data * other.data
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(grad * other.data)
+            if other.requires_grad:
+                other._accumulate(grad * self.data)
+
+        return Tensor._make(out_data, (self, other), "mul", backward)
+
+    def __rmul__(self, other: Arrayable) -> "Tensor":
+        return self.__mul__(other)
+
+    def __truediv__(self, other: Arrayable) -> "Tensor":
+        other = ensure_tensor(other)
+        out_data = self.data / other.data
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(grad / other.data)
+            if other.requires_grad:
+                other._accumulate(-grad * self.data / (other.data ** 2))
+
+        return Tensor._make(out_data, (self, other), "div", backward)
+
+    def __rtruediv__(self, other: Arrayable) -> "Tensor":
+        return ensure_tensor(other).__truediv__(self)
+
+    def __neg__(self) -> "Tensor":
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(-grad)
+
+        return Tensor._make(-self.data, (self,), "neg", backward)
+
+    def __pow__(self, exponent: float) -> "Tensor":
+        if not isinstance(exponent, (int, float)):
+            raise TypeError("Tensor ** exponent supports scalar exponents only")
+        out_data = self.data ** exponent
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(grad * exponent * self.data ** (exponent - 1))
+
+        return Tensor._make(out_data, (self,), "pow", backward)
+
+    def __matmul__(self, other: Arrayable) -> "Tensor":
+        other = ensure_tensor(other)
+        out_data = self.data @ other.data
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                if other.data.ndim == 1:
+                    self._accumulate(np.expand_dims(grad, -1) * other.data)
+                else:
+                    self._accumulate(grad @ np.swapaxes(other.data, -1, -2))
+            if other.requires_grad:
+                if self.data.ndim == 1:
+                    other._accumulate(np.expand_dims(self.data, -1) * grad)
+                else:
+                    other._accumulate(np.swapaxes(self.data, -1, -2) @ grad)
+
+        return Tensor._make(out_data, (self, other), "matmul", backward)
+
+    # comparisons return plain numpy bool arrays (non-differentiable)
+    def __gt__(self, other: Arrayable):
+        return self.data > _as_array(other)
+
+    def __lt__(self, other: Arrayable):
+        return self.data < _as_array(other)
+
+    def __ge__(self, other: Arrayable):
+        return self.data >= _as_array(other)
+
+    def __le__(self, other: Arrayable):
+        return self.data <= _as_array(other)
+
+    # ------------------------------------------------------------------
+    # indexing & shape ops
+    # ------------------------------------------------------------------
+    def __getitem__(self, index) -> "Tensor":
+        out_data = self.data[index]
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                full = np.zeros_like(self.data)
+                np.add.at(full, index, grad)
+                self._accumulate(full)
+
+        return Tensor._make(out_data, (self,), "getitem", backward)
+
+    def reshape(self, *shape: int) -> "Tensor":
+        if len(shape) == 1 and isinstance(shape[0], (tuple, list)):
+            shape = tuple(shape[0])
+        out_data = self.data.reshape(shape)
+        original = self.data.shape
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(grad.reshape(original))
+
+        return Tensor._make(out_data, (self,), "reshape", backward)
+
+    def transpose(self, *axes: int) -> "Tensor":
+        if not axes:
+            axes = tuple(reversed(range(self.data.ndim)))
+        elif len(axes) == 1 and isinstance(axes[0], (tuple, list)):
+            axes = tuple(axes[0])
+        out_data = np.transpose(self.data, axes)
+        inverse = np.argsort(axes)
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(np.transpose(grad, inverse))
+
+        return Tensor._make(out_data, (self,), "transpose", backward)
+
+    def swapaxes(self, axis1: int, axis2: int) -> "Tensor":
+        out_data = np.swapaxes(self.data, axis1, axis2)
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(np.swapaxes(grad, axis1, axis2))
+
+        return Tensor._make(out_data, (self,), "swapaxes", backward)
+
+    def expand_dims(self, axis: int) -> "Tensor":
+        out_data = np.expand_dims(self.data, axis)
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(np.squeeze(grad, axis=axis))
+
+        return Tensor._make(out_data, (self,), "expand_dims", backward)
+
+    def squeeze(self, axis: Optional[int] = None) -> "Tensor":
+        out_data = np.squeeze(self.data, axis=axis)
+        original = self.data.shape
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(grad.reshape(original))
+
+        return Tensor._make(out_data, (self,), "squeeze", backward)
+
+    def broadcast_to(self, shape: Sequence[int]) -> "Tensor":
+        shape = tuple(shape)
+        out_data = np.broadcast_to(self.data, shape)
+        original = self.data.shape
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(unbroadcast(grad, original))
+
+        return Tensor._make(np.ascontiguousarray(out_data), (self,), "broadcast", backward)
+
+    # ------------------------------------------------------------------
+    # reductions & elementwise ops routed through functional
+    # ------------------------------------------------------------------
+    def sum(self, axis=None, keepdims: bool = False) -> "Tensor":
+        from repro.tensor import functional as F
+
+        return F.sum(self, axis=axis, keepdims=keepdims)
+
+    def mean(self, axis=None, keepdims: bool = False) -> "Tensor":
+        from repro.tensor import functional as F
+
+        return F.mean(self, axis=axis, keepdims=keepdims)
+
+    def var(self, axis=None, keepdims: bool = False) -> "Tensor":
+        from repro.tensor import functional as F
+
+        return F.var(self, axis=axis, keepdims=keepdims)
+
+    def max(self, axis=None, keepdims: bool = False) -> "Tensor":
+        from repro.tensor import functional as F
+
+        return F.max(self, axis=axis, keepdims=keepdims)
+
+    def min(self, axis=None, keepdims: bool = False) -> "Tensor":
+        from repro.tensor import functional as F
+
+        return F.min(self, axis=axis, keepdims=keepdims)
+
+    def exp(self) -> "Tensor":
+        from repro.tensor import functional as F
+
+        return F.exp(self)
+
+    def log(self) -> "Tensor":
+        from repro.tensor import functional as F
+
+        return F.log(self)
+
+    def sqrt(self) -> "Tensor":
+        from repro.tensor import functional as F
+
+        return F.sqrt(self)
+
+    def tanh(self) -> "Tensor":
+        from repro.tensor import functional as F
+
+        return F.tanh(self)
+
+    def sigmoid(self) -> "Tensor":
+        from repro.tensor import functional as F
+
+        return F.sigmoid(self)
+
+    def relu(self) -> "Tensor":
+        from repro.tensor import functional as F
+
+        return F.relu(self)
+
+    def abs(self) -> "Tensor":
+        from repro.tensor import functional as F
+
+        return F.abs(self)
+
+    def clip(self, low: float, high: float) -> "Tensor":
+        from repro.tensor import functional as F
+
+        return F.clip(self, low, high)

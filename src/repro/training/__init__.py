@@ -1,0 +1,50 @@
+"""Training loop, metrics, and the dataset x model x horizon runner."""
+
+from repro.training import metrics
+from repro.training.experiment import (
+    PROFILES,
+    ExperimentResult,
+    ExperimentSettings,
+    active_profile,
+    available_models,
+    build_model,
+    make_loaders,
+    run_experiment,
+)
+from repro.training.trainer import Trainer, TrainingHistory
+from repro.training.probabilistic import (
+    calibration_error,
+    crps_from_samples,
+    pinball_loss,
+    quantile_scores,
+)
+from repro.training.rolling import rolling_forecast
+from repro.training.backtest import BacktestReport, walk_forward
+from repro.training.results import ResultStore
+from repro.training.tuning import SearchResult, grid_search
+from repro.training.ensembling import ForecastEnsemble
+
+__all__ = [
+    "ForecastEnsemble",
+    "BacktestReport",
+    "walk_forward",
+    "ResultStore",
+    "SearchResult",
+    "grid_search",
+    "calibration_error",
+    "crps_from_samples",
+    "pinball_loss",
+    "quantile_scores",
+    "rolling_forecast",
+    "metrics",
+    "Trainer",
+    "TrainingHistory",
+    "PROFILES",
+    "ExperimentResult",
+    "ExperimentSettings",
+    "active_profile",
+    "available_models",
+    "build_model",
+    "make_loaders",
+    "run_experiment",
+]

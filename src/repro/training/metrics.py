@@ -1,0 +1,61 @@
+"""Evaluation metrics. The paper reports MSE and MAE (§V-A3)."""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+
+def mse(prediction: np.ndarray, target: np.ndarray) -> float:
+    """Mean squared error."""
+    prediction, target = np.asarray(prediction), np.asarray(target)
+    _check_shapes(prediction, target)
+    return float(np.mean((prediction - target) ** 2))
+
+
+def mae(prediction: np.ndarray, target: np.ndarray) -> float:
+    """Mean absolute error."""
+    prediction, target = np.asarray(prediction), np.asarray(target)
+    _check_shapes(prediction, target)
+    return float(np.mean(np.abs(prediction - target)))
+
+
+def rmse(prediction: np.ndarray, target: np.ndarray) -> float:
+    """Root mean squared error."""
+    return float(np.sqrt(mse(prediction, target)))
+
+
+def mape(prediction: np.ndarray, target: np.ndarray, eps: float = 1e-8) -> float:
+    """Mean absolute percentage error (epsilon-guarded)."""
+    prediction, target = np.asarray(prediction), np.asarray(target)
+    _check_shapes(prediction, target)
+    return float(np.mean(np.abs((prediction - target) / (np.abs(target) + eps))))
+
+
+def evaluate(prediction: np.ndarray, target: np.ndarray) -> Dict[str, float]:
+    """All standard metrics at once (paper tables use mse/mae)."""
+    return {
+        "mse": mse(prediction, target),
+        "mae": mae(prediction, target),
+        "rmse": rmse(prediction, target),
+        "mape": mape(prediction, target),
+    }
+
+
+def coverage(lower: np.ndarray, upper: np.ndarray, target: np.ndarray) -> float:
+    """Fraction of target points falling inside [lower, upper] bands."""
+    lower, upper, target = map(np.asarray, (lower, upper, target))
+    _check_shapes(lower, target)
+    _check_shapes(upper, target)
+    return float(np.mean((target >= lower) & (target <= upper)))
+
+
+def interval_width(lower: np.ndarray, upper: np.ndarray) -> float:
+    """Mean width of the uncertainty band (sharpness)."""
+    return float(np.mean(np.asarray(upper) - np.asarray(lower)))
+
+
+def _check_shapes(a: np.ndarray, b: np.ndarray) -> None:
+    if a.shape != b.shape:
+        raise ValueError(f"shape mismatch: {a.shape} vs {b.shape}")

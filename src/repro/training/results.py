@@ -1,0 +1,100 @@
+"""Experiment-result persistence: append-only JSONL store + summaries.
+
+Long benchmark campaigns (Table II is 80 training runs) want results
+written incrementally and re-aggregated later without re-running.  The
+store is a plain JSONL file so it diffs cleanly and needs no database.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+from typing import Dict, Iterator, List, Optional
+
+from repro.training.experiment import ExperimentResult
+
+
+class ResultStore:
+    """Append-only JSONL store of :class:`ExperimentResult` records."""
+
+    def __init__(self, path: str) -> None:
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+
+    # -- write -------------------------------------------------------------
+    def append(self, result: ExperimentResult, tags: Optional[Dict[str, object]] = None) -> None:
+        record = {
+            "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
+            "dataset": result.dataset,
+            "model": result.model,
+            "pred_len": result.pred_len,
+            "mse": result.mse,
+            "mae": result.mae,
+            "per_seed": result.per_seed,
+        }
+        if tags:
+            record["tags"] = tags
+        with open(self.path, "a") as handle:
+            handle.write(json.dumps(record) + "\n")
+
+    # -- read --------------------------------------------------------------
+    def records(self) -> Iterator[dict]:
+        if not self.path.exists():
+            return
+        with open(self.path) as handle:
+            for line_no, line in enumerate(handle, start=1):
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    yield json.loads(line)
+                except json.JSONDecodeError:
+                    raise ValueError(f"{self.path}:{line_no}: corrupt record") from None
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.records())
+
+    def query(
+        self,
+        dataset: Optional[str] = None,
+        model: Optional[str] = None,
+        pred_len: Optional[int] = None,
+    ) -> List[dict]:
+        """Filter records by any combination of keys."""
+        out = []
+        for rec in self.records():
+            if dataset is not None and rec["dataset"] != dataset:
+                continue
+            if model is not None and rec["model"] != model:
+                continue
+            if pred_len is not None and rec["pred_len"] != pred_len:
+                continue
+            out.append(rec)
+        return out
+
+    def best_per_cell(self) -> Dict[tuple, dict]:
+        """For each (dataset, pred_len): the record with the lowest MSE."""
+        best: Dict[tuple, dict] = {}
+        for rec in self.records():
+            key = (rec["dataset"], rec["pred_len"])
+            if key not in best or rec["mse"] < best[key]["mse"]:
+                best[key] = rec
+        return best
+
+    def leaderboard(self, dataset: str, pred_len: int) -> List[dict]:
+        """Records of one cell sorted by MSE (latest record per model)."""
+        latest: Dict[str, dict] = {}
+        for rec in self.query(dataset=dataset, pred_len=pred_len):
+            latest[rec["model"]] = rec  # later lines win
+        return sorted(latest.values(), key=lambda r: r["mse"])
+
+    def summary_table(self) -> str:
+        """Human-readable dump of the whole store."""
+        lines = [f"{'dataset':10s} {'H':>5} {'model':14s} {'MSE':>8} {'MAE':>8}"]
+        for rec in sorted(self.records(), key=lambda r: (r["dataset"], r["pred_len"], r["mse"])):
+            lines.append(
+                f"{rec['dataset']:10s} {rec['pred_len']:>5} {rec['model']:14s} "
+                f"{rec['mse']:>8.4f} {rec['mae']:>8.4f}"
+            )
+        return "\n".join(lines)

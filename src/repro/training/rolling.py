@@ -1,0 +1,81 @@
+"""Iterated (rolling) multi-step forecasting.
+
+All deep models in the paper predict the whole horizon in one pass (the
+"one-step prediction strategy", §V-A2).  The classical alternative —
+predict a short block, append it to the input, repeat — is provided here
+both as a baseline decoding strategy and for horizon-extension beyond a
+trained model's ``pred_len``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.tensor import Tensor, no_grad
+
+
+def rolling_forecast(
+    model,
+    x_enc: np.ndarray,
+    x_mark_enc: np.ndarray,
+    future_marks: np.ndarray,
+    horizon: int,
+    label_len: int,
+) -> np.ndarray:
+    """Extend a trained forecaster to an arbitrary horizon by iteration.
+
+    Parameters
+    ----------
+    model:
+        Any forecaster following the protocol; its single-pass horizon is
+        inferred from one probe call.
+    x_enc, x_mark_enc:
+        The seed window (B, L, C) and its marks (B, L, T).
+    future_marks:
+        Calendar marks covering the ``horizon`` steps after the window
+        (B, horizon, T) — known in advance, like the paper's setup.
+    horizon:
+        Total steps to forecast (may exceed the model's pred_len).
+    label_len:
+        Decoder context length used when the model was trained.
+    """
+    x_enc = np.asarray(x_enc, dtype=np.float64)
+    marks = np.asarray(x_mark_enc, dtype=np.float64)
+    future_marks = np.asarray(future_marks, dtype=np.float64)
+    if future_marks.shape[1] < horizon:
+        raise ValueError(f"future_marks covers {future_marks.shape[1]} steps < horizon {horizon}")
+    batch, window, channels = x_enc.shape
+
+    model.eval()
+    outputs = []
+    produced = 0
+    while produced < horizon:
+        # build the decoder input for the current window
+        with no_grad():
+            block_marks = future_marks[:, produced:, :]
+            x_dec_ctx = x_enc[:, -label_len:, :]
+            probe_pred_len = _model_pred_len(model)
+            step = min(probe_pred_len, horizon - produced)
+            dec_marks = np.concatenate([marks[:, -label_len:, :], block_marks[:, :probe_pred_len, :]], axis=1)
+            if dec_marks.shape[1] < label_len + probe_pred_len:  # pad marks if horizon tail is short
+                pad = np.repeat(dec_marks[:, -1:, :], label_len + probe_pred_len - dec_marks.shape[1], axis=1)
+                dec_marks = np.concatenate([dec_marks, pad], axis=1)
+            x_dec = np.concatenate([x_dec_ctx, np.zeros((batch, probe_pred_len, channels))], axis=1)
+            out = model(Tensor(x_enc), Tensor(marks), Tensor(x_dec), Tensor(dec_marks))
+            block = model.point_forecast(out)[:, :step, :]
+        outputs.append(block)
+        produced += step
+        # slide the window forward over the model's own predictions
+        x_enc = np.concatenate([x_enc, block], axis=1)[:, -window:, :]
+        used_marks = future_marks[:, produced - step : produced, :]
+        marks = np.concatenate([marks, used_marks], axis=1)[:, -window:, :]
+    return np.concatenate(outputs, axis=1)
+
+
+def _model_pred_len(model) -> int:
+    """Read the single-pass horizon off a forecaster."""
+    if hasattr(model, "pred_len"):
+        return int(model.pred_len)
+    if hasattr(model, "config"):
+        return int(model.config.pred_len)
+    raise AttributeError("model exposes neither pred_len nor config.pred_len")

@@ -1,0 +1,115 @@
+"""Training loop: Adam + early stopping + best-checkpoint restore.
+
+Matches §V-A3: Adam at lr 1e-4, batch 32, early stopping within 10
+epochs.  Works with any model following the forecaster protocol
+(``forward`` / ``compute_loss`` / ``point_forecast``).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.data.windows import DataLoader
+from repro.optim import Adam, EarlyStopping, clip_grad_norm
+from repro.tensor import Tensor, no_grad
+from repro.training import metrics as M
+
+
+@dataclass
+class TrainingHistory:
+    """Per-epoch record of a training run."""
+
+    train_loss: List[float] = field(default_factory=list)
+    val_loss: List[float] = field(default_factory=list)
+    epochs_run: int = 0
+    stopped_early: bool = False
+    wall_time: float = 0.0
+
+
+class Trainer:
+    """Fit a forecaster on windowed loaders and evaluate on held-out data."""
+
+    def __init__(
+        self,
+        model,
+        learning_rate: float = 1e-4,
+        max_epochs: int = 10,
+        patience: int = 3,
+        grad_clip: Optional[float] = 5.0,
+        verbose: bool = False,
+    ) -> None:
+        self.model = model
+        self.optimizer = Adam(model.parameters(), lr=learning_rate)
+        self.max_epochs = max_epochs
+        self.patience = patience
+        self.grad_clip = grad_clip
+        self.verbose = verbose
+
+    # ------------------------------------------------------------------
+    def _run_batch(self, batch, train: bool) -> float:
+        x_enc, x_mark, x_dec, y_mark, y = batch
+        outputs = self.model(Tensor(x_enc), Tensor(x_mark), Tensor(x_dec), Tensor(y_mark))
+        loss = self.model.compute_loss(outputs, Tensor(y))
+        if train:
+            self.optimizer.zero_grad()
+            loss.backward()
+            if self.grad_clip is not None:
+                clip_grad_norm(self.model.parameters(), self.grad_clip)
+            self.optimizer.step()
+        return loss.item()
+
+    def fit(self, train_loader: DataLoader, val_loader: Optional[DataLoader] = None) -> TrainingHistory:
+        """Train with early stopping on validation loss; restore best state."""
+        history = TrainingHistory()
+        stopper = EarlyStopping(patience=self.patience)
+        start = time.perf_counter()
+        for epoch in range(self.max_epochs):
+            self.model.train()
+            epoch_losses = [self._run_batch(batch, train=True) for batch in train_loader]
+            train_loss = float(np.mean(epoch_losses)) if epoch_losses else float("nan")
+            history.train_loss.append(train_loss)
+
+            if val_loader is not None:
+                val_loss = self.evaluate_loss(val_loader)
+                history.val_loss.append(val_loss)
+                stopper.update(val_loss, state=self.model.state_dict())
+                if self.verbose:
+                    print(f"epoch {epoch}: train={train_loss:.4f} val={val_loss:.4f}")
+                if stopper.should_stop:
+                    history.stopped_early = True
+                    history.epochs_run = epoch + 1
+                    break
+            elif self.verbose:
+                print(f"epoch {epoch}: train={train_loss:.4f}")
+            history.epochs_run = epoch + 1
+        if stopper.best_state is not None:
+            self.model.load_state_dict(stopper.best_state)
+        history.wall_time = time.perf_counter() - start
+        return history
+
+    # ------------------------------------------------------------------
+    def evaluate_loss(self, loader: DataLoader) -> float:
+        """Mean model loss over a loader (no gradient, eval mode)."""
+        self.model.eval()
+        with no_grad():
+            losses = [self._run_batch(batch, train=False) for batch in loader]
+        self.model.train()
+        return float(np.mean(losses)) if losses else float("nan")
+
+    def evaluate(self, loader: DataLoader) -> Dict[str, float]:
+        """Point-forecast metrics (mse/mae/rmse/mape) over a loader."""
+        self.model.eval()
+        predictions, targets = [], []
+        with no_grad():
+            for x_enc, x_mark, x_dec, y_mark, y in loader:
+                outputs = self.model(Tensor(x_enc), Tensor(x_mark), Tensor(x_dec), Tensor(y_mark))
+                predictions.append(self.model.point_forecast(outputs))
+                targets.append(y)
+        self.model.train()
+        prediction = np.concatenate(predictions, axis=0)
+        target = np.concatenate(targets, axis=0)
+        return M.evaluate(prediction, target)

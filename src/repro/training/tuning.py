@@ -1,0 +1,118 @@
+"""Hyper-parameter search on validation loss.
+
+The paper tunes baselines (e.g. RNN hidden sizes from {16, 24, 32, 64},
+§V-A2); this module provides the mechanism: grid search over model
+overrides and/or ExperimentSettings fields, selecting by validation loss
+and reporting the test metrics of the winner only (no test leakage).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field, replace
+from typing import Any, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.data import load_dataset
+from repro.tensor.random import seed_everything
+from repro.training.experiment import ExperimentSettings, active_profile, build_model, make_loaders
+from repro.training.trainer import Trainer
+
+
+@dataclass
+class TrialResult:
+    """One grid point: its parameters and validation/test scores."""
+
+    params: Dict[str, Any]
+    val_loss: float
+    test_metrics: Optional[Dict[str, float]] = None
+
+
+@dataclass
+class SearchResult:
+    """All trials plus the validation-selected winner."""
+
+    trials: List[TrialResult] = field(default_factory=list)
+
+    @property
+    def best(self) -> TrialResult:
+        if not self.trials:
+            raise RuntimeError("search produced no trials")
+        return min(self.trials, key=lambda t: t.val_loss)
+
+    def table(self) -> str:
+        lines = [f"{'params':40s} {'val':>10} {'test mse':>10}"]
+        for t in sorted(self.trials, key=lambda t: t.val_loss):
+            test = f"{t.test_metrics['mse']:.4f}" if t.test_metrics else "-"
+            lines.append(f"{str(t.params):40s} {t.val_loss:>10.4f} {test:>10}")
+        return "\n".join(lines)
+
+
+def _split_param_spaces(param_grid: Dict[str, Sequence]) -> tuple:
+    """Separate settings-level keys from model-override keys."""
+    settings_fields = set(ExperimentSettings.__dataclass_fields__)
+    settings_space = {k: v for k, v in param_grid.items() if k in settings_fields}
+    model_space = {k: v for k, v in param_grid.items() if k not in settings_fields}
+    return settings_space, model_space
+
+
+def grid_search(
+    dataset_name: str,
+    model_name: str,
+    pred_len: int,
+    param_grid: Dict[str, Sequence],
+    settings: Optional[ExperimentSettings] = None,
+    univariate: bool = False,
+    seed: int = 0,
+    evaluate_all_on_test: bool = False,
+) -> SearchResult:
+    """Exhaustive search over ``param_grid``; select on validation loss.
+
+    Keys that are ``ExperimentSettings`` fields (e.g. ``learning_rate``,
+    ``d_model``) vary the profile; all other keys are passed to the model
+    constructor as overrides (e.g. ``window``, ``n_flows``, ``hidden_size``).
+    Only the winner is evaluated on the test split unless
+    ``evaluate_all_on_test`` is set.
+    """
+    base_settings = settings if settings is not None else active_profile()
+    settings_space, model_space = _split_param_spaces(param_grid)
+    keys = list(settings_space) + list(model_space)
+    value_lists = [param_grid[k] for k in keys]
+
+    result = SearchResult()
+    for combo in itertools.product(*value_lists):
+        params = dict(zip(keys, combo))
+        trial_settings = replace(base_settings, **{k: params[k] for k in settings_space})
+        overrides = {k: params[k] for k in model_space}
+
+        seed_everything(seed)
+        dataset = load_dataset(
+            dataset_name, n_points=trial_settings.n_points, seed=seed, **trial_settings.dataset_kwargs
+        )
+        if univariate:
+            dataset = dataset.univariate()
+        train, val, test = make_loaders(dataset, trial_settings, pred_len, seed=seed)
+        model = build_model(model_name, dataset.n_dims, dataset.n_dims, pred_len, trial_settings, seed=seed, **overrides)
+        trainer = Trainer(
+            model,
+            learning_rate=trial_settings.learning_rate,
+            max_epochs=trial_settings.max_epochs,
+            patience=trial_settings.patience,
+        )
+        trainer.fit(train, val)
+        trial = TrialResult(params=params, val_loss=trainer.evaluate_loss(val))
+        if evaluate_all_on_test:
+            trial.test_metrics = trainer.evaluate(test)
+        result.trials.append(trial)
+        if not evaluate_all_on_test:
+            trial._trainer = trainer  # kept to score the winner below
+            trial._test = test
+
+    if not evaluate_all_on_test and result.trials:
+        winner = result.best
+        winner.test_metrics = winner._trainer.evaluate(winner._test)
+        for t in result.trials:  # drop the heavyweight references
+            if hasattr(t, "_trainer"):
+                del t._trainer, t._test
+    return result

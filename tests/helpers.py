@@ -1,0 +1,25 @@
+"""Shared test utilities — thin wrappers over the library's gradcheck."""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.tensor import Tensor
+from repro.tensor.gradcheck import gradcheck, numerical_gradient
+
+
+def numerical_grad(fn: Callable[[], Tensor], wrt: Tensor, eps: float = 1e-6) -> np.ndarray:
+    """Central-difference gradient (re-exported for test modules)."""
+    return numerical_gradient(fn, wrt, eps=eps)
+
+
+def check_gradients(
+    fn: Callable[[], Tensor],
+    params: Sequence[Tensor],
+    atol: float = 1e-5,
+    rtol: float = 1e-4,
+) -> None:
+    """Assert autodiff gradients of scalar ``fn`` match finite differences."""
+    gradcheck(fn, params, atol=atol, rtol=rtol, raise_on_fail=True)

@@ -1,0 +1,75 @@
+"""Tests for time-series augmentations."""
+
+import numpy as np
+import pytest
+
+from repro.data import augment
+
+RNG = np.random.default_rng(101)
+
+
+def batch(b=2, l=20, c=3):
+    return RNG.normal(size=(b, l, c))
+
+
+class TestAugmentations:
+    def test_jitter_small_perturbation(self):
+        x = batch()
+        out = augment.jitter(x, np.random.default_rng(0), sigma=0.01)
+        assert out.shape == x.shape
+        assert 0 < np.abs(out - x).max() < 0.1
+
+    def test_scaling_preserves_sign_structure(self):
+        x = np.abs(batch()) + 0.1
+        out = augment.scaling(x, np.random.default_rng(0), sigma=0.05)
+        assert np.all(out > 0)
+        # per-channel constant factor: ratio has no time variation
+        ratio = out / x
+        np.testing.assert_allclose(ratio.std(axis=1), 0.0, atol=1e-12)
+
+    def test_magnitude_warp_smooth(self):
+        x = np.ones((1, 50, 1))
+        out = augment.magnitude_warp(x, np.random.default_rng(1), sigma=0.3)
+        # warp is piecewise-linear: second difference mostly tiny
+        second_diff = np.diff(out[0, :, 0], 2)
+        assert np.median(np.abs(second_diff)) < 0.05
+
+    def test_time_mask_zeroes_span(self):
+        x = np.ones((3, 40, 2))
+        out = augment.time_mask(x, np.random.default_rng(2), mask_frac=0.25)
+        for b in range(3):
+            zeros = np.where(out[b, :, 0] == 0.0)[0]
+            assert len(zeros) == 10
+            assert np.all(np.diff(zeros) == 1)  # contiguous
+
+    def test_time_mask_invalid_frac(self):
+        with pytest.raises(ValueError):
+            augment.time_mask(batch(), np.random.default_rng(0), mask_frac=1.0)
+
+    def test_random_crop_pair_overlaps(self):
+        x = batch(l=30)
+        for seed in range(10):
+            a, b, span_a, span_b = augment.random_crop_pair(x, np.random.default_rng(seed), crop_len=12)
+            assert a.shape[1] == b.shape[1] == 12
+            sa, sb = augment.overlap_slices(span_a, span_b)
+            np.testing.assert_array_equal(a[:, sa, :], b[:, sb, :])
+
+    def test_crop_full_length(self):
+        x = batch(l=16)
+        a, b, span_a, span_b = augment.random_crop_pair(x, np.random.default_rng(0), crop_len=16)
+        np.testing.assert_array_equal(a, x)
+        assert span_a == span_b == (0, 16)
+
+    def test_crop_too_long(self):
+        with pytest.raises(ValueError):
+            augment.random_crop_pair(batch(l=10), np.random.default_rng(0), crop_len=11)
+
+    def test_overlap_slices_disjoint_rejected(self):
+        with pytest.raises(ValueError):
+            augment.overlap_slices((0, 5), (7, 12))
+
+    def test_deterministic_given_seed(self):
+        x = batch()
+        out1 = augment.jitter(x, np.random.default_rng(42))
+        out2 = augment.jitter(x, np.random.default_rng(42))
+        np.testing.assert_array_equal(out1, out2)

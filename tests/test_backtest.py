@@ -1,0 +1,72 @@
+"""Tests for walk-forward backtesting."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import GRUForecaster
+from repro.data import load_dataset
+from repro.training.backtest import BacktestFold, BacktestReport, walk_forward
+
+
+def gru_factory(n_dims, pred_len):
+    return GRUForecaster(enc_in=n_dims, c_out=n_dims, pred_len=pred_len,
+                         hidden_size=8, d_time=4, dropout=0.0, seed=0)
+
+
+class TestWalkForward:
+    def test_produces_folds(self):
+        ds = load_dataset("etth1", n_points=600)
+        report = walk_forward(ds, gru_factory, input_len=16, pred_len=4,
+                              n_folds=3, max_epochs=1, stride=8)
+        assert len(report.folds) == 3
+        for fold in report.folds:
+            assert fold.metrics["mse"] > 0
+        # origins strictly increase
+        origins = [f.origin for f in report.folds]
+        assert origins == sorted(origins) and len(set(origins)) == 3
+
+    def test_summary_keys(self):
+        ds = load_dataset("etth1", n_points=600)
+        report = walk_forward(ds, gru_factory, input_len=16, pred_len=4,
+                              n_folds=2, max_epochs=1, stride=8)
+        summary = report.summary()
+        assert summary["n_folds"] == 2
+        assert summary["mse_worst"] >= summary["mse_mean"]
+        assert summary["mse_std"] >= 0
+
+    def test_degradation_slope(self):
+        report = BacktestReport(folds=[
+            BacktestFold(0, {"mse": 1.0, "mae": 0.5}),
+            BacktestFold(1, {"mse": 2.0, "mae": 0.7}),
+            BacktestFold(2, {"mse": 3.0, "mae": 0.9}),
+        ])
+        assert report.degradation() == pytest.approx(1.0)
+
+    def test_degradation_single_fold(self):
+        report = BacktestReport(folds=[BacktestFold(0, {"mse": 1.0, "mae": 0.5})])
+        assert report.degradation() == 0.0
+
+    def test_series_too_short(self):
+        ds = load_dataset("etth1", n_points=100)
+        with pytest.raises(ValueError):
+            walk_forward(ds, gru_factory, input_len=16, pred_len=4,
+                         n_folds=5, eval_span=50, max_epochs=1)
+
+    def test_fresh_model_each_fold(self):
+        """The factory must be invoked once per fold."""
+        calls = []
+
+        def counting_factory(n_dims, pred_len):
+            calls.append(1)
+            return gru_factory(n_dims, pred_len)
+
+        ds = load_dataset("etth1", n_points=600)
+        walk_forward(ds, counting_factory, input_len=16, pred_len=4,
+                     n_folds=2, max_epochs=1, stride=8)
+        assert len(calls) == 2
+
+    def test_deterministic(self):
+        ds = load_dataset("etth1", n_points=600)
+        r1 = walk_forward(ds, gru_factory, input_len=16, pred_len=4, n_folds=2, max_epochs=1, stride=8, seed=5)
+        r2 = walk_forward(ds, gru_factory, input_len=16, pred_len=4, n_folds=2, max_epochs=1, stride=8, seed=5)
+        np.testing.assert_allclose(r1.metric("mse"), r2.metric("mse"))

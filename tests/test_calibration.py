@@ -1,0 +1,102 @@
+"""Tests for post-hoc conformal calibration of uncertainty bands."""
+
+import numpy as np
+import pytest
+
+from repro.eval import (
+    BandScaler,
+    ConformalCalibrator,
+    bands_from_samples,
+    conformal_radius,
+)
+
+RNG = np.random.default_rng(66)
+
+
+class TestConformalRadius:
+    def test_known_quantile(self):
+        residuals = np.arange(1.0, 101.0)  # |res| uniform on 1..100
+        radius = conformal_radius(residuals, 0.9)
+        assert 90.0 <= radius <= 92.0
+
+    def test_invalid_level(self):
+        with pytest.raises(ValueError):
+            conformal_radius(np.ones(10), 1.5)
+
+    def test_empty_residuals(self):
+        with pytest.raises(ValueError):
+            conformal_radius(np.array([]), 0.9)
+
+    def test_coverage_on_fresh_data(self):
+        """Split-conformal guarantee: ≥ level coverage on exchangeable data."""
+        calibration = RNG.normal(size=5000)
+        fresh = RNG.normal(size=5000)
+        radius = conformal_radius(calibration, 0.9)
+        coverage = np.mean(np.abs(fresh) <= radius)
+        assert coverage >= 0.88
+
+
+class TestConformalCalibrator:
+    def test_bands_contain_point(self):
+        pred = RNG.normal(size=(4, 6, 2))
+        target = pred + RNG.normal(scale=0.5, size=pred.shape)
+        calib = ConformalCalibrator.fit(pred, target, levels=(0.8, 0.95))
+        bands = calib.bands(pred)
+        assert np.all(bands.lower[0.8] <= bands.point)
+        assert np.all(bands.point <= bands.upper[0.95])
+
+    def test_radii_monotone(self):
+        pred = RNG.normal(size=(10, 5, 1))
+        target = pred + RNG.normal(scale=1.0, size=pred.shape)
+        calib = ConformalCalibrator.fit(pred, target)
+        assert calib.radii[0.8] <= calib.radii[0.9] <= calib.radii[0.95]
+
+    def test_calibrated_coverage(self):
+        pred_cal = np.zeros((50, 10, 1))
+        target_cal = RNG.normal(scale=2.0, size=pred_cal.shape)
+        calib = ConformalCalibrator.fit(pred_cal, target_cal, levels=(0.9,))
+        pred_new = np.zeros((50, 10, 1))
+        target_new = RNG.normal(scale=2.0, size=pred_new.shape)
+        bands = calib.bands(pred_new)
+        assert bands.coverage(target_new, 0.9) >= 0.85
+
+
+class TestBandScaler:
+    def _bands(self, width_scale=0.1):
+        samples = RNG.normal(scale=width_scale, size=(60, 8, 6, 2))
+        return bands_from_samples(samples, levels=(0.9,))
+
+    def test_scaling_restores_coverage(self):
+        """Bands 10x too narrow -> scaler widens them to cover."""
+        bands = self._bands(width_scale=0.1)
+        target = RNG.normal(scale=1.0, size=(8, 6, 2))
+        raw_coverage = bands.coverage(target, 0.9)
+        assert raw_coverage < 0.5  # deliberately under-covering
+        scaler = BandScaler.fit(bands, target)
+        fixed = scaler.apply(bands)
+        assert fixed.coverage(target, 0.9) >= 0.9
+        assert scaler.scales[0.9] > 2.0
+
+    def test_well_calibrated_bands_barely_change(self):
+        samples = RNG.normal(scale=1.0, size=(400, 8, 6, 2))
+        bands = bands_from_samples(samples, levels=(0.9,))
+        target = RNG.normal(scale=1.0, size=(8, 6, 2))
+        scaler = BandScaler.fit(bands, target)
+        assert 0.5 < scaler.scales[0.9] < 2.0
+
+    def test_apply_preserves_point(self):
+        bands = self._bands()
+        target = RNG.normal(size=(8, 6, 2))
+        fixed = BandScaler.fit(bands, target).apply(bands)
+        np.testing.assert_array_equal(fixed.point, bands.point)
+
+    def test_heteroscedastic_shape_preserved(self):
+        """Scaling keeps relative band widths across positions."""
+        samples = RNG.normal(size=(100, 2, 4, 1)) * np.array([0.1, 0.5, 1.0, 2.0])[None, None, :, None]
+        bands = bands_from_samples(samples, levels=(0.9,))
+        target = RNG.normal(size=(2, 4, 1))
+        fixed = BandScaler.fit(bands, target).apply(bands)
+        raw_w = bands.upper[0.9] - bands.lower[0.9]
+        new_w = fixed.upper[0.9] - fixed.lower[0.9]
+        ratio = new_w / raw_w
+        np.testing.assert_allclose(ratio, ratio.mean(), rtol=1e-6)

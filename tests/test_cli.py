@@ -1,0 +1,78 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestCLI:
+    def test_datasets_lists_all(self, capsys):
+        assert main(["datasets"]) == 0
+        out = capsys.readouterr().out
+        for name in ["etth1", "ettm1", "ecl", "weather", "exchange", "wind", "airdelay"]:
+            assert name in out
+
+    def test_models_lists_conformer(self, capsys):
+        assert main(["models"]) == 0
+        out = capsys.readouterr().out
+        assert "conformer" in out and "informer" in out
+
+    def test_run_default(self, capsys):
+        assert main(["run", "--dataset", "etth1", "--model", "gru", "--pred-len", "4", "--epochs", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "mse=" in out and "gru" in out
+
+    def test_run_json_output(self, capsys):
+        assert main(
+            ["run", "--dataset", "etth1", "--model", "gru", "--pred-len", "4", "--epochs", "1", "--json"]
+        ) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["model"] == "gru"
+        assert payload["mse"] > 0
+        assert len(payload["per_seed"]) == 1
+
+    def test_run_with_overrides(self, capsys):
+        assert main(
+            [
+                "run",
+                "--model",
+                "conformer",
+                "--pred-len",
+                "4",
+                "--epochs",
+                "1",
+                "--model-overrides",
+                '{"flow_mode": "none"}',
+            ]
+        ) == 0
+        assert "conformer" in capsys.readouterr().out
+
+    def test_run_rejects_unknown_model(self):
+        with pytest.raises(SystemExit):
+            main(["run", "--model", "prophet"])
+
+    def test_efficiency(self, capsys):
+        assert main(["efficiency", "--lengths", "16,32", "--repeats", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "sliding_window" in out and "slope" in out
+
+    def test_sweep(self, capsys):
+        assert main(["sweep", "--param", "window", "--values", "1,2", "--pred-len", "4"]) == 0
+        out = capsys.readouterr().out
+        assert out.count("\n") >= 3  # header + 2 rows
+
+    def test_diagnose(self, capsys):
+        assert main(["diagnose", "--n-points", "600"]) == 0
+        out = capsys.readouterr().out
+        assert "unit-root" in out and "exchange" in out
+
+    def test_backtest(self, capsys):
+        assert main(["backtest", "--dataset", "etth1", "--model", "gru", "--pred-len", "4", "--folds", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "degradation slope" in out and "fold" in out
+
+    def test_parser_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])

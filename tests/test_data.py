@@ -1,0 +1,281 @@
+"""Tests for the data substrate: generators, datasets, windows, scalers."""
+
+import numpy as np
+import pytest
+
+from repro.data import (
+    DataLoader,
+    StandardScaler,
+    MinMaxScaler,
+    TimeSeriesDataset,
+    WindowedDataset,
+    available_datasets,
+    load_dataset,
+    make_timestamps,
+    time_features,
+)
+from repro.data import generators
+
+
+class TestGenerators:
+    @pytest.mark.parametrize(
+        "name,expected_dims",
+        [("etth1", 7), ("ettm1", 7), ("weather", 21), ("exchange", 8), ("wind", 7), ("airdelay", 6)],
+    )
+    def test_shapes(self, name, expected_dims):
+        ds = load_dataset(name, n_points=500)
+        assert ds.values.shape == (500, expected_dims)
+        assert len(ds.timestamps) == 500
+
+    def test_ecl_dims_configurable(self):
+        ds = load_dataset("ecl", n_points=300, n_dims=12)
+        assert ds.n_dims == 12
+        assert ds.target_index == 11
+
+    def test_deterministic_given_seed(self):
+        a = load_dataset("wind", n_points=200, seed=3)
+        b = load_dataset("wind", n_points=200, seed=3)
+        np.testing.assert_array_equal(a.values, b.values)
+
+    def test_different_seeds_differ(self):
+        a = load_dataset("wind", n_points=200, seed=1)
+        b = load_dataset("wind", n_points=200, seed=2)
+        assert not np.allclose(a.values, b.values)
+
+    def test_wind_power_nonnegative(self):
+        ds = load_dataset("wind", n_points=2000)
+        assert np.all(ds.values[:, ds.target_index] >= 0.0)
+
+    def test_ecl_positive(self):
+        ds = load_dataset("ecl", n_points=500, n_dims=8)
+        assert np.all(ds.values > 0.0)
+
+    def test_etth1_has_daily_periodicity(self):
+        ds = load_dataset("etth1", n_points=24 * 40)
+        target = ds.values[:, 0] - ds.values[:, 0].mean()
+        spectrum = np.abs(np.fft.rfft(target))
+        daily_bin = len(target) // 24
+        # daily bin should be among the strongest components
+        assert spectrum[daily_bin] > 5 * np.median(spectrum[1:])
+
+    def test_exchange_is_random_walk_like(self):
+        """Exchange: differences should be nearly white (no dominant period)."""
+        ds = load_dataset("exchange", n_points=2000)
+        diffs = np.diff(np.log(ds.values[:, 0]))
+        autocorr = np.corrcoef(diffs[:-1], diffs[1:])[0, 1]
+        assert abs(autocorr) < 0.1
+
+    def test_airdelay_irregular_intervals(self):
+        ds = load_dataset("airdelay", n_points=1000)
+        gaps = np.diff(ds.timestamps).astype("timedelta64[s]").astype(np.int64)
+        assert len(np.unique(gaps)) > 10  # genuinely irregular
+        assert np.all(gaps >= 0)
+
+    def test_wind_regime_switching(self):
+        """Wind speed distribution should be bimodal-ish: high-variance."""
+        ds = load_dataset("wind", n_points=20000, seed=0)
+        speed = ds.values[:, 0]
+        assert speed.std() > 1.5
+
+    def test_unknown_dataset(self):
+        with pytest.raises(ValueError):
+            load_dataset("sp500")
+
+    def test_available_datasets(self):
+        names = available_datasets()
+        assert set(names) == {"etth1", "ettm1", "ecl", "weather", "exchange", "wind", "airdelay"}
+
+
+class TestSplits:
+    def test_ratios_preserved(self):
+        ds = load_dataset("etth1", n_points=1600)
+        train, _ = ds.split("train")
+        val, _ = ds.split("val")
+        test, _ = ds.split("test")
+        assert len(train) + len(val) + len(test) == 1600
+        assert len(train) == 1200  # 12/(12+2+2)
+        assert len(val) == 200
+
+    def test_split_chronological(self):
+        ds = load_dataset("etth1", n_points=400)
+        _, t_train = ds.split("train")
+        _, t_val = ds.split("val")
+        _, t_test = ds.split("test")
+        assert t_train[-1] < t_val[0] < t_test[0]
+
+    def test_scaling_uses_train_stats(self):
+        ds = load_dataset("etth1", n_points=800)
+        train, _ = ds.split("train")
+        np.testing.assert_allclose(train.mean(axis=0), 0.0, atol=1e-9)
+        np.testing.assert_allclose(train.std(axis=0), 1.0, atol=1e-9)
+        test, _ = ds.split("test")
+        # test scaled by train stats: not exactly standardized
+        assert not np.allclose(test.mean(axis=0), 0.0, atol=1e-3)
+
+    def test_invalid_split_name(self):
+        ds = load_dataset("etth1", n_points=200)
+        with pytest.raises(ValueError):
+            ds.split("holdout")
+
+    def test_univariate_projection(self):
+        ds = load_dataset("etth1", n_points=300)
+        uni = ds.univariate()
+        assert uni.n_dims == 1
+        np.testing.assert_array_equal(uni.values[:, 0], ds.values[:, ds.target_index])
+
+    def test_summary(self):
+        ds = load_dataset("weather", n_points=250)
+        row = ds.summary()
+        assert row["n_dims"] == 21 and row["n_points"] == 250 and row["interval"] == "10min"
+
+    def test_bad_ratios_rejected(self):
+        with pytest.raises(ValueError):
+            TimeSeriesDataset(
+                name="bad",
+                values=np.zeros((10, 2)),
+                timestamps=make_timestamps(10, "h"),
+                target_index=0,
+                freq="h",
+                split_ratios=(0.5, 0.2, 0.2),
+            )
+
+
+class TestTimeFeatures:
+    def test_range(self):
+        ts = make_timestamps(500, "h")
+        feats = time_features(ts, ("hour", "day", "week", "month"))
+        assert feats.shape == (500, 4)
+        assert feats.min() >= -0.5 - 1e-9 and feats.max() <= 0.5 + 1e-9
+
+    def test_hour_cycles(self):
+        ts = make_timestamps(48, "h", start="2020-01-01")
+        feats = time_features(ts, ("hour",))
+        np.testing.assert_allclose(feats[0, 0], -0.5)
+        np.testing.assert_allclose(feats[24, 0], -0.5)
+        assert feats[12, 0] > 0.0
+
+    def test_weekday_monday_zero(self):
+        # 2020-01-06 was a Monday
+        ts = np.array([np.datetime64("2020-01-06")])
+        feats = time_features(ts, ("week",))
+        np.testing.assert_allclose(feats[0, 0], -0.5)
+
+    def test_year_feature_spans(self):
+        ts = make_timestamps(365 * 3, "d")
+        feats = time_features(ts, ("year",))
+        assert feats[0, 0] == -0.5 and feats[-1, 0] == 0.5
+
+    def test_unknown_resolution(self):
+        with pytest.raises(ValueError):
+            time_features(make_timestamps(5, "h"), ("fortnight",))
+
+    def test_unknown_freq(self):
+        with pytest.raises(ValueError):
+            make_timestamps(5, "5s")
+
+
+class TestScalers:
+    def test_standard_roundtrip(self):
+        rng = np.random.default_rng(0)
+        data = rng.normal(5.0, 3.0, size=(100, 4))
+        scaler = StandardScaler().fit(data)
+        np.testing.assert_allclose(scaler.inverse_transform(scaler.transform(data)), data)
+
+    def test_standard_stats(self):
+        rng = np.random.default_rng(0)
+        data = rng.normal(5.0, 3.0, size=(500, 2))
+        out = StandardScaler().fit_transform(data)
+        np.testing.assert_allclose(out.mean(axis=0), 0.0, atol=1e-12)
+        np.testing.assert_allclose(out.std(axis=0), 1.0, atol=1e-12)
+
+    def test_constant_channel_safe(self):
+        data = np.column_stack([np.ones(50), np.arange(50.0)])
+        out = StandardScaler().fit_transform(data)
+        assert np.all(np.isfinite(out))
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            StandardScaler().transform(np.zeros((3, 2)))
+
+    def test_minmax(self):
+        rng = np.random.default_rng(1)
+        data = rng.uniform(-5, 10, size=(60, 3))
+        scaler = MinMaxScaler().fit(data)
+        out = scaler.transform(data)
+        assert out.min() >= 0.0 and out.max() <= 1.0
+        np.testing.assert_allclose(scaler.inverse_transform(out), data)
+
+
+class TestWindows:
+    def _windows(self, n=50, input_len=8, pred_len=4, **kwargs):
+        values = np.arange(n, dtype=float)[:, None] * np.ones((1, 2))
+        marks = np.zeros((n, 3))
+        return WindowedDataset(values, marks, input_len, pred_len, **kwargs)
+
+    def test_count(self):
+        ws = self._windows(n=50, input_len=8, pred_len=4)
+        assert len(ws) == 50 - 8 - 4 + 1
+
+    def test_sample_alignment(self):
+        ws = self._windows(n=30, input_len=6, pred_len=3, label_len=2)
+        s = ws[5]
+        np.testing.assert_array_equal(s.x_enc[:, 0], np.arange(5, 11))
+        np.testing.assert_array_equal(s.y[:, 0], np.arange(11, 14))
+        # decoder input: last label_len of encoder + zeros
+        np.testing.assert_array_equal(s.x_dec[:2, 0], [9, 10])
+        np.testing.assert_array_equal(s.x_dec[2:, 0], 0.0)
+        assert s.y_mark.shape == (5, 3)
+
+    def test_default_label_len(self):
+        ws = self._windows(input_len=8, pred_len=4)
+        assert ws.label_len == 4
+
+    def test_out_of_range(self):
+        ws = self._windows()
+        with pytest.raises(IndexError):
+            ws[len(ws)]
+
+    def test_stride(self):
+        ws = self._windows(n=50, input_len=8, pred_len=4, stride=2)
+        assert len(ws) == (50 - 8 - 4 + 1 + 1) // 2
+        s0, s1 = ws[0], ws[1]
+        assert s1.x_enc[0, 0] - s0.x_enc[0, 0] == 2
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            self._windows(input_len=0)
+        with pytest.raises(ValueError):
+            self._windows(input_len=4, pred_len=2, label_len=8)
+
+    def test_values_marks_length_mismatch(self):
+        with pytest.raises(ValueError):
+            WindowedDataset(np.zeros((10, 2)), np.zeros((9, 3)), 4, 2)
+
+
+class TestDataLoader:
+    def test_batches_cover_dataset(self):
+        ws = TestWindows()._windows(n=60, input_len=8, pred_len=4)
+        loader = DataLoader(ws, batch_size=16)
+        total = sum(batch[0].shape[0] for batch in loader)
+        assert total == len(ws)
+
+    def test_batch_shapes(self):
+        ws = TestWindows()._windows(n=40, input_len=8, pred_len=4)
+        x_enc, x_mark, x_dec, y_mark, y = next(iter(DataLoader(ws, batch_size=5)))
+        assert x_enc.shape == (5, 8, 2)
+        assert x_mark.shape == (5, 8, 3)
+        assert x_dec.shape == (5, 8, 2)  # label_len (4) + pred_len (4)
+        assert y_mark.shape == (5, 8, 3)
+        assert y.shape == (5, 4, 2)
+
+    def test_shuffle_changes_order(self):
+        ws = TestWindows()._windows(n=100, input_len=8, pred_len=4)
+        plain = next(iter(DataLoader(ws, batch_size=10, shuffle=False)))[0]
+        shuffled = next(iter(DataLoader(ws, batch_size=10, shuffle=True, rng=np.random.default_rng(1))))[0]
+        assert not np.allclose(plain, shuffled)
+
+    def test_drop_last(self):
+        ws = TestWindows()._windows(n=60, input_len=8, pred_len=4)  # 49 samples
+        loader = DataLoader(ws, batch_size=16, drop_last=True)
+        assert len(loader) == 3
+        assert sum(1 for _ in loader) == 3

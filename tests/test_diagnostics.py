@@ -1,0 +1,137 @@
+"""Tests for time-series diagnostics — including validation that each
+synthetic dataset reproduces the structure the paper relies on."""
+
+import numpy as np
+import pytest
+
+from repro.data import load_dataset
+from repro.data.diagnostics import (
+    autocorrelation,
+    burstiness,
+    diagnose,
+    ljung_box,
+    seasonal_strength,
+    unit_root_score,
+)
+
+RNG = np.random.default_rng(160)
+
+
+class TestAutocorrelation:
+    def test_white_noise_near_zero(self):
+        r = autocorrelation(RNG.normal(size=5000), max_lag=10)
+        assert np.all(np.abs(r) < 0.05)
+
+    def test_ar1_matches_theory(self):
+        n, rho = 20000, 0.7
+        x = np.zeros(n)
+        for i in range(1, n):
+            x[i] = rho * x[i - 1] + RNG.normal()
+        r = autocorrelation(x, max_lag=3)
+        np.testing.assert_allclose(r, [rho, rho**2, rho**3], atol=0.03)
+
+    def test_lag_too_large(self):
+        with pytest.raises(ValueError):
+            autocorrelation(np.zeros(5), max_lag=5)
+
+    def test_constant_series(self):
+        r = autocorrelation(np.full(100, 3.0), max_lag=5)
+        np.testing.assert_array_equal(r, 0.0)
+
+
+class TestLjungBox:
+    def test_white_noise_not_rejected(self):
+        result = ljung_box(RNG.normal(size=2000), lags=10)
+        assert result["p_value"] > 0.01
+
+    def test_periodic_rejected(self):
+        x = np.sin(2 * np.pi * np.arange(500) / 24) + RNG.normal(0, 0.1, 500)
+        result = ljung_box(x, lags=30)
+        assert result["p_value"] < 1e-6
+
+
+class TestSeasonalStrength:
+    def test_pure_sine_near_one(self):
+        x = np.sin(2 * np.pi * np.arange(480) / 24)
+        assert seasonal_strength(x, period=24) > 0.95
+
+    def test_white_noise_near_zero(self):
+        assert seasonal_strength(RNG.normal(size=960), period=24) < 0.2
+
+    def test_mixed(self):
+        x = np.sin(2 * np.pi * np.arange(480) / 24) + RNG.normal(0, 1.0, 480)
+        s = seasonal_strength(x, period=24)
+        assert 0.1 < s < 0.9
+
+    def test_period_validation(self):
+        with pytest.raises(ValueError):
+            seasonal_strength(np.zeros(10), period=8)
+
+
+class TestUnitRoot:
+    def test_random_walk_near_zero(self):
+        walk = np.cumsum(RNG.normal(size=3000))
+        assert unit_root_score(walk) > -3.0
+
+    def test_stationary_strongly_negative(self):
+        n = 3000
+        x = np.zeros(n)
+        for i in range(1, n):
+            x[i] = 0.3 * x[i - 1] + RNG.normal()
+        assert unit_root_score(x) < -10.0
+
+    def test_short_series(self):
+        with pytest.raises(ValueError):
+            unit_root_score(np.zeros(5))
+
+
+class TestBurstiness:
+    def test_regular_signal_negative(self):
+        x = np.sin(2 * np.pi * np.arange(1000) / 20)
+        assert burstiness(x) < 0.0
+
+    def test_heavy_tailed_positive(self):
+        steps = RNG.pareto(1.5, size=5000) * (RNG.random(5000) < 0.05)
+        x = np.cumsum(steps)
+        assert burstiness(x) > 0.5
+
+    def test_range(self):
+        b = burstiness(RNG.normal(size=1000).cumsum())
+        assert -1.0 <= b <= 1.0
+
+
+class TestSyntheticDatasetsReproducePaperStructure:
+    """The substitution table in DESIGN.md, quantified."""
+
+    def test_etth1_periodic_and_stationaryish(self):
+        ds = load_dataset("etth1", n_points=24 * 90)
+        target = ds.values[:, ds.target_index]
+        assert seasonal_strength(target, period=24) > 0.1
+        assert ljung_box(target)["p_value"] < 1e-6
+
+    def test_ecl_strongly_seasonal(self):
+        ds = load_dataset("ecl", n_points=24 * 90, n_dims=8)
+        strengths = [seasonal_strength(ds.values[:, i], 24) for i in range(8)]
+        assert np.median(strengths) > 0.2
+
+    def test_exchange_is_unit_root(self):
+        ds = load_dataset("exchange", n_points=3000)
+        score = unit_root_score(ds.values[:, 0])
+        assert score > -3.0  # cannot reject the unit root: random-walk-like
+
+    def test_weather_not_unit_root(self):
+        ds = load_dataset("weather", n_points=144 * 30)
+        target = ds.values[:: 6, 0]  # hourly subsample for speed
+        assert seasonal_strength(target, period=24) > 0.3
+
+    def test_wind_burstier_than_ett(self):
+        wind = load_dataset("wind", n_points=8000)
+        ett = load_dataset("etth1", n_points=8000)
+        b_wind = burstiness(wind.values[:, wind.target_index])
+        b_ett = burstiness(ett.values[:, ett.target_index])
+        assert b_wind > b_ett
+
+    def test_diagnose_summary(self):
+        ds = load_dataset("etth1", n_points=24 * 60)
+        report = diagnose(ds.values[:, ds.target_index], period=24)
+        assert set(report) == {"ljung_box_p", "unit_root_score", "burstiness", "seasonal_strength"}

@@ -1,0 +1,92 @@
+"""Tests for the complexity and uncertainty evaluation utilities."""
+
+import numpy as np
+import pytest
+
+from repro.eval import (
+    bands_from_samples,
+    blend_uncertainty,
+    efficiency_table,
+    evaluate_bands,
+    measure_attention,
+    scaling_exponent,
+)
+
+RNG = np.random.default_rng(55)
+
+
+class TestComplexityProbe:
+    def test_measure_returns_points(self):
+        points = measure_attention("sliding_window", lengths=[16, 32], window=2, repeats=1)
+        assert len(points) == 2
+        assert all(p.seconds > 0 and p.peak_bytes > 0 for p in points)
+        assert [p.length for p in points] == [16, 32]
+
+    def test_efficiency_table_all_mechanisms(self):
+        table = efficiency_table(lengths=[16, 32], repeats=1)
+        assert set(table) == {"sliding_window", "full", "prob_sparse", "lsh", "log_sparse", "auto_correlation"}
+
+    def test_full_attention_memory_grows_quadratically(self):
+        points = measure_attention("full", lengths=[64, 256], repeats=1)
+        ratio = points[1].peak_bytes / points[0].peak_bytes
+        assert ratio > 6  # 16x length^2 ratio, generous lower bound
+
+    def test_sliding_window_memory_grows_linearly(self):
+        points = measure_attention("sliding_window", lengths=[64, 256], window=2, repeats=1)
+        ratio = points[1].peak_bytes / points[0].peak_bytes
+        assert ratio < 8  # 4x for linear; must stay far below the 16x quadratic
+
+    def test_scaling_exponent(self):
+        from repro.eval.complexity import EfficiencyPoint
+
+        linear = [EfficiencyPoint("x", 2**i, 2.0**i, 0) for i in range(3, 7)]
+        assert scaling_exponent(linear) == pytest.approx(1.0)
+        quadratic = [EfficiencyPoint("x", 2**i, 4.0**i, 0) for i in range(3, 7)]
+        assert scaling_exponent(quadratic) == pytest.approx(2.0)
+
+
+class TestUncertainty:
+    def _samples(self, spread=1.0):
+        base = RNG.normal(size=(1, 2, 6, 3))
+        noise = RNG.normal(scale=spread, size=(50, 2, 6, 3))
+        return base + noise
+
+    def test_bands_shapes(self):
+        bands = bands_from_samples(self._samples())
+        assert bands.point.shape == (2, 6, 3)
+        assert set(bands.lower) == {0.8, 0.9, 0.95}
+        assert np.all(bands.lower[0.9] <= bands.upper[0.9])
+
+    def test_wider_level_wider_band(self):
+        bands = bands_from_samples(self._samples())
+        assert bands.width(0.95) > bands.width(0.8)
+
+    def test_coverage_of_gaussian(self):
+        samples = RNG.normal(size=(2000, 1, 4, 1))
+        bands = bands_from_samples(samples)
+        target = RNG.normal(size=(1, 4, 1))
+        cov = bands.coverage(np.zeros((1, 4, 1)), 0.95)
+        assert cov == 1.0  # zero is the center of the distribution
+
+    def test_bad_ndim_rejected(self):
+        with pytest.raises(ValueError):
+            bands_from_samples(np.zeros((10, 4, 1)))
+
+    def test_blend_lambda_widens_bands(self):
+        """Smaller lambda -> flow weighted more -> wider bands (Fig. 6)."""
+        y_out = RNG.normal(size=(2, 6, 3))
+        flow = self._samples(spread=2.0)
+        tight = blend_uncertainty(y_out, flow, lam=0.95)
+        wide = blend_uncertainty(y_out, flow, lam=0.5)
+        assert wide.width(0.9) > tight.width(0.9)
+
+    def test_blend_invalid_lambda(self):
+        with pytest.raises(ValueError):
+            blend_uncertainty(np.zeros((1, 2, 1)), np.zeros((3, 1, 2, 1)), lam=1.5)
+
+    def test_evaluate_bands_keys(self):
+        bands = bands_from_samples(self._samples())
+        target = RNG.normal(size=(2, 6, 3))
+        out = evaluate_bands(bands, target)
+        assert "mse" in out and "coverage@0.9" in out and "width@0.95" in out
+        assert 0.0 <= out["coverage@0.9"] <= 1.0

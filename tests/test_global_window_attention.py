@@ -1,0 +1,102 @@
+"""Tests for Longformer-style global+window attention."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.tensor import Tensor
+
+RNG = np.random.default_rng(90)
+
+
+def qkv(length=16, d_head=4):
+    make = lambda: Tensor(RNG.normal(size=(1, 2, length, d_head)), requires_grad=True)
+    return make(), make(), make()
+
+
+class TestGlobalWindowAttention:
+    def test_shape(self):
+        q, k, v = qkv()
+        out = nn.GlobalWindowAttention(window=4, n_global=3)(q, k, v)
+        assert out.shape == q.shape
+
+    def test_global_token_sees_everything(self):
+        """Perturbing any value changes the global positions' output."""
+        q, k, v = qkv(length=12)
+        attn = nn.GlobalWindowAttention(window=2, n_global=2)
+        glob = attn._global_indices(12)
+        out1 = attn(q, k, v).data.copy()
+        v2 = Tensor(v.data.copy())
+        far = 6  # not a neighbour of position 0, not global
+        assert far not in glob
+        v2.data[0, 0, far, :] += 25.0
+        out2 = attn(q, k, v2).data
+        # global rows change...
+        assert not np.allclose(out1[0, 0, glob], out2[0, 0, glob])
+
+    def test_local_token_sees_global_far_away(self):
+        """A non-global position is influenced by a far-away global token."""
+        length = 16
+        q, k, v = qkv(length=length)
+        attn = nn.GlobalWindowAttention(window=2, n_global=2)
+        glob = attn._global_indices(length)  # includes length-1
+        out1 = attn(q, k, v).data.copy()
+        v2 = Tensor(v.data.copy())
+        v2.data[0, 0, glob[-1], :] += 25.0  # perturb the last global token
+        out2 = attn(q, k, v2).data
+        probe = 4  # near the start, window too small to reach glob[-1] locally
+        assert abs(probe - glob[-1]) > 2
+        assert not np.allclose(out1[0, 0, probe], out2[0, 0, probe])
+
+    def test_strictly_local_unaffected_by_far_nonglobal(self):
+        length = 16
+        q, k, v = qkv(length=length)
+        attn = nn.GlobalWindowAttention(window=2, n_global=2)
+        glob = set(attn._global_indices(length))
+        out1 = attn(q, k, v).data.copy()
+        far = 10
+        assert far not in glob
+        v2 = Tensor(v.data.copy())
+        v2.data[0, 0, far, :] += 25.0
+        out2 = attn(q, k, v2).data
+        probe = 3  # neither neighbour of 10 nor global
+        np.testing.assert_allclose(out1[0, 0, probe], out2[0, 0, probe])
+
+    def test_gradients_flow(self):
+        q, k, v = qkv(length=10)
+        out = (nn.GlobalWindowAttention(window=2, n_global=2)(q, k, v) ** 2).sum()
+        out.backward()
+        assert q.grad is not None and k.grad is not None and v.grad is not None
+
+    def test_registry(self):
+        mech = nn.get_attention("global_window", window=2, n_global=2)
+        q, k, v = qkv(length=8)
+        assert mech(q, k, v).shape == q.shape
+        assert "global_window" in nn.available_attentions()
+
+    def test_invalid_n_global(self):
+        with pytest.raises(ValueError):
+            nn.GlobalWindowAttention(n_global=0)
+
+    def test_requires_self_attention(self):
+        q = Tensor(RNG.normal(size=(1, 1, 8, 4)))
+        k = Tensor(RNG.normal(size=(1, 1, 10, 4)))
+        with pytest.raises(ValueError):
+            nn.GlobalWindowAttention()(q, k, k)
+
+    def test_more_globals_than_length(self):
+        q, k, v = qkv(length=3)
+        out = nn.GlobalWindowAttention(window=2, n_global=10)(q, k, v)
+        assert out.shape == q.shape
+
+    def test_longformer_baseline_uses_it(self):
+        model = nn.__dict__  # avoid unused import warnings
+        from repro.baselines import Longformer
+
+        lf = Longformer(enc_in=3, dec_in=3, c_out=3, pred_len=4, d_model=8, n_heads=2,
+                        e_layers=1, d_layers=1, d_ff=16, dropout=0.0, d_time=2)
+        x_enc = Tensor(RNG.normal(size=(2, 12, 3)))
+        x_mark = Tensor(RNG.normal(size=(2, 12, 2)))
+        x_dec = Tensor(RNG.normal(size=(2, 8, 3)))
+        y_mark = Tensor(RNG.normal(size=(2, 8, 2)))
+        assert lf(x_enc, x_mark, x_dec, y_mark).shape == (2, 4, 3)

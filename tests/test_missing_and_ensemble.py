@@ -1,0 +1,180 @@
+"""Tests for missing-data imputation and forecast ensembling."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import GRUForecaster
+from repro.data import DataLoader, WindowedDataset
+from repro.data.missing import (
+    forward_fill,
+    linear_interpolate,
+    mask_missing,
+    missing_rate,
+    seasonal_interpolate,
+)
+from repro.tensor import Tensor
+from repro.training.ensembling import ForecastEnsemble
+
+RNG = np.random.default_rng(180)
+
+
+class TestForwardFill:
+    def test_fills_interior_gap(self):
+        values = np.array([[1.0], [np.nan], [np.nan], [4.0]])
+        out = forward_fill(values)
+        np.testing.assert_array_equal(out.ravel(), [1.0, 1.0, 1.0, 4.0])
+
+    def test_backfills_leading(self):
+        values = np.array([[np.nan], [2.0], [3.0]])
+        out = forward_fill(values)
+        np.testing.assert_array_equal(out.ravel(), [2.0, 2.0, 3.0])
+
+    def test_all_missing_channel_raises(self):
+        with pytest.raises(ValueError):
+            forward_fill(np.full((5, 1), np.nan))
+
+    def test_complete_data_untouched(self):
+        values = RNG.normal(size=(10, 3))
+        np.testing.assert_array_equal(forward_fill(values), values)
+
+
+class TestLinearInterpolate:
+    def test_straight_line_gap(self):
+        values = np.array([[0.0], [np.nan], [np.nan], [3.0]])
+        out = linear_interpolate(values)
+        np.testing.assert_allclose(out.ravel(), [0.0, 1.0, 2.0, 3.0])
+
+    def test_edges_held(self):
+        values = np.array([[np.nan], [1.0], [np.nan]])
+        out = linear_interpolate(values)
+        np.testing.assert_allclose(out.ravel(), [1.0, 1.0, 1.0])
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            linear_interpolate(np.zeros(5))
+
+
+class TestSeasonalInterpolate:
+    def test_uses_phase_mean(self):
+        period = 4
+        base = np.tile([0.0, 10.0, 20.0, 30.0], 5)[:, None].astype(float)
+        values = base.copy()
+        values[9, 0] = np.nan  # phase 1 -> should become ~10
+        out = seasonal_interpolate(values, period)
+        assert out[9, 0] == pytest.approx(10.0)
+
+    def test_beats_linear_on_periodic_data(self):
+        period = 24
+        t = np.arange(period * 20)
+        truth = np.sin(2 * np.pi * t / period)[:, None]
+        holey = mask_missing(truth, np.random.default_rng(0), rate=0.1, gap_length=6)
+        mask = np.isnan(holey)
+        seasonal = seasonal_interpolate(holey, period)
+        linear = linear_interpolate(holey)
+        err_seasonal = np.mean((seasonal[mask] - truth[mask]) ** 2)
+        err_linear = np.mean((linear[mask] - truth[mask]) ** 2)
+        assert err_seasonal < err_linear
+
+    def test_invalid_period(self):
+        with pytest.raises(ValueError):
+            seasonal_interpolate(np.zeros((10, 1)), period=0)
+
+
+class TestMaskMissing:
+    def test_rate_approximate(self):
+        values = RNG.normal(size=(2000, 2))
+        holey = mask_missing(values, np.random.default_rng(1), rate=0.2, gap_length=4)
+        assert 0.05 < missing_rate(holey) < 0.35
+
+    def test_invalid_rate(self):
+        with pytest.raises(ValueError):
+            mask_missing(np.zeros((10, 1)), np.random.default_rng(0), rate=1.0)
+
+    def test_roundtrip_through_imputers(self):
+        values = RNG.normal(size=(200, 3)).cumsum(axis=0)
+        holey = mask_missing(values, np.random.default_rng(2), rate=0.1, gap_length=3)
+        for imputer in (forward_fill, linear_interpolate):
+            out = imputer(holey)
+            assert not np.isnan(out).any()
+            # observed cells unchanged
+            observed = ~np.isnan(holey)
+            np.testing.assert_array_equal(out[observed], holey[observed])
+
+
+def _make_model(seed):
+    return GRUForecaster(enc_in=2, c_out=2, pred_len=4, hidden_size=8, d_time=2, dropout=0.0, seed=seed)
+
+
+def _batch(batch=3, input_len=8, pred_len=4):
+    return (
+        RNG.normal(size=(batch, input_len, 2)),
+        RNG.normal(size=(batch, input_len, 2)),
+        RNG.normal(size=(batch, 8, 2)),
+        RNG.normal(size=(batch, 8, 2)),
+    )
+
+
+class TestForecastEnsemble:
+    def test_mean_of_identical_models_is_member(self):
+        model = _make_model(0)
+        ensemble = ForecastEnsemble([model, model])
+        inputs = _batch()
+        member = ensemble.member_forecasts(*inputs)[0]
+        np.testing.assert_allclose(ensemble.predict(*inputs), member)
+
+    def test_median_method(self):
+        models = [_make_model(s) for s in range(3)]
+        ensemble = ForecastEnsemble(models, method="median")
+        out = ensemble.predict(*_batch())
+        members = ensemble.member_forecasts(*_batch(batch=3))
+        assert out.shape == (3, 4, 2)
+
+    def test_weights_normalized(self):
+        models = [_make_model(s) for s in range(2)]
+        ensemble = ForecastEnsemble(models, weights=[2.0, 6.0])
+        np.testing.assert_allclose(ensemble.weights, [0.25, 0.75])
+
+    def test_invalid_weights(self):
+        with pytest.raises(ValueError):
+            ForecastEnsemble([_make_model(0)], weights=[-1.0])
+
+    def test_empty_models(self):
+        with pytest.raises(ValueError):
+            ForecastEnsemble([])
+
+    def test_invalid_method(self):
+        with pytest.raises(ValueError):
+            ForecastEnsemble([_make_model(0)], method="max")
+
+    def test_fit_weights_favours_better_member(self):
+        values = RNG.normal(size=(200, 2)).cumsum(axis=0) * 0.1
+        windows = WindowedDataset(values, np.zeros((200, 2)), 8, 4, stride=8)
+        loader = DataLoader(windows, batch_size=8)
+        good = _make_model(0)
+        # train the good member a little
+        from repro.training import Trainer
+
+        Trainer(good, learning_rate=5e-3, max_epochs=3).fit(loader)
+        bad = _make_model(1)  # untrained
+        ensemble = ForecastEnsemble([good, bad])
+        weights = ensemble.fit_weights(loader, temperature=0.1)
+        assert weights[0] > weights[1]
+
+    def test_ensemble_at_least_as_good_as_worst(self):
+        values = np.sin(np.arange(300) / 5.0)[:, None] * np.ones((1, 2))
+        windows = WindowedDataset(values, np.zeros((300, 2)), 8, 4, stride=4)
+        loader = DataLoader(windows, batch_size=16)
+        models = [_make_model(s) for s in range(3)]
+        from repro.training import Trainer
+
+        for m in models:
+            Trainer(m, learning_rate=5e-3, max_epochs=2).fit(loader)
+        ensemble = ForecastEnsemble(models)
+        member_errors = []
+        ens_errors = []
+        for x_enc, x_mark, x_dec, y_mark, y in loader:
+            members = ensemble.member_forecasts(x_enc, x_mark, x_dec, y_mark)
+            member_errors.append(np.mean((members - y[None]) ** 2, axis=(1, 2, 3)))
+            ens_errors.append(np.mean((ensemble.predict(x_enc, x_mark, x_dec, y_mark) - y) ** 2))
+        worst_member = np.max(np.mean(member_errors, axis=0))
+        assert np.mean(ens_errors) <= worst_member + 1e-9

@@ -1,0 +1,249 @@
+"""Unit tests for nn layers: shapes, gradients, modes, serialization."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.tensor import Tensor, functional as F
+from tests.helpers import check_gradients
+
+RNG = np.random.default_rng(11)
+
+
+def randt(*shape):
+    return Tensor(RNG.normal(size=shape), requires_grad=True)
+
+
+class TestLinear:
+    def test_shape(self):
+        layer = nn.Linear(4, 7)
+        out = layer(Tensor(RNG.normal(size=(3, 4))))
+        assert out.shape == (3, 7)
+
+    def test_batched_time_input(self):
+        layer = nn.Linear(4, 7)
+        out = layer(Tensor(RNG.normal(size=(2, 5, 4))))
+        assert out.shape == (2, 5, 7)
+
+    def test_gradients(self):
+        layer = nn.Linear(3, 2)
+        x = Tensor(RNG.normal(size=(4, 3)))
+        check_gradients(lambda: (layer(x) ** 2).sum(), layer.parameters())
+
+    def test_no_bias(self):
+        layer = nn.Linear(3, 2, bias=False)
+        assert len(layer.parameters()) == 1
+
+
+class TestConv1d:
+    def test_same_padding_keeps_length(self):
+        conv = nn.Conv1d(3, 8, kernel_size=3, padding="same")
+        out = conv(Tensor(RNG.normal(size=(2, 10, 3))))
+        assert out.shape == (2, 10, 8)
+
+    def test_circular_padding(self):
+        conv = nn.Conv1d(2, 4, kernel_size=3, padding="same", padding_mode="circular")
+        out = conv(Tensor(RNG.normal(size=(1, 6, 2))))
+        assert out.shape == (1, 6, 4)
+
+    def test_gradients(self):
+        conv = nn.Conv1d(2, 3, kernel_size=3, padding="same")
+        x = Tensor(RNG.normal(size=(2, 5, 2)))
+        check_gradients(lambda: (conv(x) ** 2).sum(), conv.parameters())
+
+    def test_even_kernel_same_padding_rejected(self):
+        with pytest.raises(ValueError):
+            nn.Conv1d(2, 2, kernel_size=4, padding="same")
+
+
+class TestNorms:
+    def test_layernorm_normalizes(self):
+        ln = nn.LayerNorm(16)
+        x = Tensor(RNG.normal(3.0, 5.0, size=(4, 9, 16)))
+        out = ln(x)
+        np.testing.assert_allclose(out.data.mean(axis=-1), 0.0, atol=1e-7)
+        np.testing.assert_allclose(out.data.std(axis=-1), 1.0, atol=1e-2)
+
+    def test_layernorm_gradients(self):
+        ln = nn.LayerNorm(5)
+        x = randt(3, 5)
+        check_gradients(lambda: (ln(x) ** 2).sum(), [x] + ln.parameters(), atol=1e-4)
+
+    def test_batchnorm_train_vs_eval(self):
+        bn = nn.BatchNorm1d(4)
+        x = Tensor(RNG.normal(2.0, 3.0, size=(8, 10, 4)))
+        out_train = bn(x)
+        np.testing.assert_allclose(out_train.data.mean(axis=(0, 1)), 0.0, atol=1e-7)
+        bn.eval()
+        out_eval = bn(x)
+        assert out_eval.shape == x.shape
+        assert not np.allclose(out_eval.data, out_train.data)
+
+
+class TestDropout:
+    def test_train_mode_drops(self):
+        drop = nn.Dropout(0.5, seed=3)
+        x = Tensor(np.ones((100, 100)))
+        out = drop(x)
+        frac_zero = np.mean(out.data == 0.0)
+        assert 0.4 < frac_zero < 0.6
+        # inverted scaling preserves expectation
+        assert abs(out.data.mean() - 1.0) < 0.05
+
+    def test_eval_mode_identity(self):
+        drop = nn.Dropout(0.5)
+        drop.eval()
+        x = Tensor(RNG.normal(size=(5, 5)))
+        np.testing.assert_array_equal(drop(x).data, x.data)
+
+    def test_invalid_p(self):
+        with pytest.raises(ValueError):
+            nn.Dropout(1.0)
+
+
+class TestMovingAverage:
+    def test_constant_invariant(self):
+        ma = nn.MovingAverage(7)
+        x = Tensor(np.full((2, 20, 3), 4.2))
+        np.testing.assert_allclose(ma(x).data, 4.2)
+
+    def test_removes_high_frequency(self):
+        t = np.arange(64)
+        series = np.sin(2 * np.pi * t / 32) + 0.5 * np.sin(2 * np.pi * t / 4)
+        x = Tensor(series.reshape(1, -1, 1))
+        smooth = nn.MovingAverage(4)(x).data.ravel()
+        # the fast period-4 (bin 16) component should be attenuated in the
+        # trend, and the slow bin-2 component removed from the residual
+        residual = series - smooth
+        assert np.abs(np.fft.rfft(smooth)[16]) < 0.1 * np.abs(np.fft.rfft(series)[16])
+        assert np.abs(np.fft.rfft(residual)[2]) < 0.2 * np.abs(np.fft.rfft(series)[2])
+
+    def test_kernel_one_identity(self):
+        ma = nn.MovingAverage(1)
+        x = randt(1, 5, 2)
+        np.testing.assert_array_equal(ma(x).data, x.data)
+
+
+class TestRNN:
+    def test_gru_shapes(self):
+        gru = nn.GRU(input_size=3, hidden_size=6, num_layers=2)
+        out, states = gru(Tensor(RNG.normal(size=(4, 7, 3))))
+        assert out.shape == (4, 7, 6)
+        assert len(states) == 2
+        assert states[0].shape == (4, 6)
+
+    def test_gru_final_state_matches_last_output(self):
+        gru = nn.GRU(3, 5)
+        out, states = gru(Tensor(RNG.normal(size=(2, 6, 3))))
+        np.testing.assert_allclose(out.data[:, -1, :], states[-1].data)
+
+    def test_gru_gradients(self):
+        cell = nn.GRUCell(2, 3)
+        x = Tensor(RNG.normal(size=(2, 4, 2)))
+        check_gradients(lambda: (cell(x)[0] ** 2).sum(), cell.parameters(), atol=1e-4)
+
+    def test_gru_initial_state(self):
+        cell = nn.GRUCell(2, 3)
+        x = Tensor(RNG.normal(size=(2, 4, 2)))
+        h0 = Tensor(RNG.normal(size=(2, 3)))
+        out_default, _ = cell(x)
+        out_seeded, _ = cell(x, h0)
+        assert not np.allclose(out_default.data, out_seeded.data)
+
+    def test_lstm_shapes(self):
+        lstm = nn.LSTM(3, 6, num_layers=2)
+        out, states = lstm(Tensor(RNG.normal(size=(2, 5, 3))))
+        assert out.shape == (2, 5, 6)
+        h, c = states[-1]
+        assert h.shape == (2, 6) and c.shape == (2, 6)
+
+    def test_lstm_gradients(self):
+        cell = nn.LSTMCell(2, 3)
+        x = Tensor(RNG.normal(size=(1, 3, 2)))
+        check_gradients(lambda: (cell(x)[0] ** 2).sum(), cell.parameters(), atol=1e-4)
+
+
+class TestEmbeddings:
+    def test_data_embedding_shape(self):
+        emb = nn.DataEmbedding(c_in=7, d_model=16, d_time=5)
+        x = Tensor(RNG.normal(size=(2, 12, 7)))
+        marks = Tensor(RNG.normal(size=(2, 12, 5)))
+        assert emb(x, marks).shape == (2, 12, 16)
+
+    def test_data_embedding_without_marks(self):
+        emb = nn.DataEmbedding(c_in=3, d_model=8)
+        x = Tensor(RNG.normal(size=(1, 6, 3)))
+        assert emb(x).shape == (1, 6, 8)
+
+    def test_positional_encoding_values(self):
+        pe = nn.PositionalEncoding(4, max_len=10)
+        x = Tensor(np.zeros((1, 10, 4)))
+        out = pe(x).data[0]
+        np.testing.assert_allclose(out[0], [0.0, 1.0, 0.0, 1.0], atol=1e-12)
+        assert np.all(np.abs(out) <= 1.0)
+
+    def test_lookup_embedding(self):
+        emb = nn.Embedding(10, 4)
+        out = emb(np.array([1, 3, 3]))
+        assert out.shape == (3, 4)
+        np.testing.assert_array_equal(out.data[1], out.data[2])
+
+
+class TestModuleInfrastructure:
+    def test_parameter_registration(self):
+        model = nn.Sequential(nn.Linear(3, 4), nn.ReLU(), nn.Linear(4, 2))
+        assert len(model.parameters()) == 4
+
+    def test_named_parameters_unique(self):
+        model = nn.Sequential(nn.Linear(3, 4), nn.Linear(4, 2))
+        names = [n for n, _ in model.named_parameters()]
+        assert len(names) == len(set(names))
+
+    def test_train_eval_propagates(self):
+        model = nn.Sequential(nn.Linear(3, 4), nn.Dropout(0.5))
+        model.eval()
+        assert all(not m.training for m in model.modules())
+        model.train()
+        assert all(m.training for m in model.modules())
+
+    def test_state_dict_roundtrip(self):
+        model = nn.Sequential(nn.Linear(3, 4), nn.Linear(4, 2))
+        state = model.state_dict()
+        clone = nn.Sequential(nn.Linear(3, 4), nn.Linear(4, 2))
+        clone.load_state_dict(state)
+        x = Tensor(RNG.normal(size=(2, 3)))
+        np.testing.assert_allclose(model(x).data, clone(x).data)
+
+    def test_state_dict_mismatch_raises(self):
+        model = nn.Linear(3, 4)
+        with pytest.raises(KeyError):
+            model.load_state_dict({"weight": np.zeros((3, 4))})  # missing bias... extra keys
+
+    def test_save_load_file(self, tmp_path):
+        model = nn.Linear(3, 4)
+        path = str(tmp_path / "model.npz")
+        model.save(path)
+        clone = nn.Linear(3, 4)
+        clone.load(path)
+        np.testing.assert_allclose(model.weight.data, clone.weight.data)
+
+    def test_num_parameters(self):
+        model = nn.Linear(3, 4)
+        assert model.num_parameters() == 3 * 4 + 4
+
+    def test_zero_grad(self):
+        model = nn.Linear(3, 1)
+        out = model(Tensor(RNG.normal(size=(2, 3)))).sum()
+        out.backward()
+        assert model.weight.grad is not None
+        model.zero_grad()
+        assert model.weight.grad is None
+
+    def test_get_activation_unknown(self):
+        with pytest.raises(ValueError):
+            nn.get_activation("swishy")
+
+    def test_feedforward(self):
+        ff = nn.FeedForward(8, 32, dropout=0.0)
+        x = Tensor(RNG.normal(size=(2, 5, 8)))
+        assert ff(x).shape == (2, 5, 8)

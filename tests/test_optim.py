@@ -1,0 +1,144 @@
+"""Optimizer/scheduler/clipping/early-stopping tests."""
+
+import numpy as np
+import pytest
+
+from repro import nn, optim
+from repro.tensor import Tensor
+
+
+def quadratic_problem():
+    """Convex problem: minimize ||W x - y||^2 for fixed x, y."""
+    rng = np.random.default_rng(5)
+    model = nn.Linear(4, 3)
+    x = Tensor(rng.normal(size=(16, 4)))
+    true_w = rng.normal(size=(4, 3))
+    y = Tensor(x.data @ true_w + 0.5)
+    return model, x, y
+
+
+def run_steps(model, x, y, optimizer, steps):
+    losses = []
+    for _ in range(steps):
+        optimizer.zero_grad()
+        pred = model(x)
+        loss = ((pred - y) ** 2).mean()
+        loss.backward()
+        optimizer.step()
+        losses.append(loss.item())
+    return losses
+
+
+class TestSGD:
+    def test_converges(self):
+        model, x, y = quadratic_problem()
+        losses = run_steps(model, x, y, optim.SGD(model.parameters(), lr=0.05), 200)
+        assert losses[-1] < 0.01 * losses[0]
+
+    def test_momentum_speeds_convergence(self):
+        model1, x, y = quadratic_problem()
+        plain = run_steps(model1, x, y, optim.SGD(model1.parameters(), lr=0.02), 50)
+        model2, _, _ = quadratic_problem()
+        momentum = run_steps(model2, x, y, optim.SGD(model2.parameters(), lr=0.02, momentum=0.9), 50)
+        assert momentum[-1] < plain[-1]
+
+    def test_weight_decay_shrinks_weights(self):
+        model = nn.Linear(3, 3, bias=False)
+        model.weight.data[...] = 10.0
+        opt = optim.SGD([model.weight], lr=0.1, weight_decay=1.0)
+        model.weight.grad = np.zeros_like(model.weight.data)
+        opt.step()
+        assert np.all(np.abs(model.weight.data) < 10.0)
+
+
+class TestAdam:
+    def test_converges(self):
+        model, x, y = quadratic_problem()
+        losses = run_steps(model, x, y, optim.Adam(model.parameters(), lr=0.05), 300)
+        assert losses[-1] < 0.01 * losses[0]
+
+    def test_skips_params_without_grad(self):
+        a, b = nn.Parameter(np.ones(3)), nn.Parameter(np.ones(3))
+        opt = optim.Adam([a, b], lr=0.1)
+        a.grad = np.ones(3)
+        opt.step()
+        np.testing.assert_array_equal(b.data, np.ones(3))
+        assert not np.allclose(a.data, np.ones(3))
+
+    def test_empty_params_rejected(self):
+        with pytest.raises(ValueError):
+            optim.Adam([], lr=0.1)
+
+    def test_adamw_decay(self):
+        p = nn.Parameter(np.full(3, 5.0))
+        opt = optim.AdamW([p], lr=0.1, weight_decay=0.5)
+        p.grad = np.zeros(3)
+        opt.step()
+        assert np.all(p.data < 5.0)
+
+
+class TestSchedulers:
+    def test_step_lr(self):
+        p = nn.Parameter(np.ones(1))
+        opt = optim.SGD([p], lr=1.0)
+        sched = optim.StepLR(opt, step_size=2, gamma=0.1)
+        lrs = []
+        for _ in range(4):
+            sched.step()
+            lrs.append(opt.lr)
+        assert lrs == pytest.approx([1.0, 0.1, 0.1, 0.01])
+
+    def test_exponential_lr(self):
+        p = nn.Parameter(np.ones(1))
+        opt = optim.SGD([p], lr=1.0)
+        sched = optim.ExponentialLR(opt, gamma=0.5)
+        sched.step()
+        sched.step()
+        assert opt.lr == pytest.approx(0.25)
+
+    def test_lambda_lr(self):
+        p = nn.Parameter(np.ones(1))
+        opt = optim.SGD([p], lr=2.0)
+        sched = optim.LambdaLR(opt, lambda epoch: 1.0 / (1 + epoch))
+        sched.step()
+        assert opt.lr == pytest.approx(1.0)
+
+
+class TestClipping:
+    def test_clip_reduces_norm(self):
+        p = nn.Parameter(np.zeros(4))
+        p.grad = np.full(4, 10.0)
+        pre = optim.clip_grad_norm([p], max_norm=1.0)
+        assert pre == pytest.approx(20.0)
+        assert np.linalg.norm(p.grad) == pytest.approx(1.0)
+
+    def test_no_clip_below_threshold(self):
+        p = nn.Parameter(np.zeros(4))
+        p.grad = np.full(4, 0.1)
+        optim.clip_grad_norm([p], max_norm=100.0)
+        np.testing.assert_allclose(p.grad, 0.1)
+
+
+class TestEarlyStopping:
+    def test_stops_after_patience(self):
+        stopper = optim.EarlyStopping(patience=2)
+        stopper.update(1.0)
+        stopper.update(1.1)
+        assert not stopper.should_stop
+        stopper.update(1.2)
+        assert stopper.should_stop
+
+    def test_improvement_resets_counter(self):
+        stopper = optim.EarlyStopping(patience=2)
+        stopper.update(1.0)
+        stopper.update(1.1)
+        stopper.update(0.5)
+        stopper.update(0.6)
+        assert not stopper.should_stop
+
+    def test_keeps_best_state(self):
+        stopper = optim.EarlyStopping(patience=5)
+        stopper.update(1.0, state={"w": np.array([1.0])})
+        stopper.update(2.0, state={"w": np.array([2.0])})
+        np.testing.assert_array_equal(stopper.best_state["w"], [1.0])
+        assert stopper.best_loss == 1.0

@@ -1,0 +1,270 @@
+"""Property-based tests (hypothesis) on core invariants.
+
+These cover the algebraic properties the library's correctness rests on:
+autodiff linearity, softmax simplex membership, decomposition identity,
+scaler round-trips, window arithmetic, attention-weight normalization,
+and conformal coverage guarantees.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro import nn
+from repro.core import SeriesDecomposition
+from repro.data import StandardScaler, WindowedDataset
+from repro.eval import conformal_radius
+from repro.tensor import Tensor, functional as F
+
+
+def arrays(shape, lo=-10.0, hi=10.0):
+    return hnp.arrays(
+        np.float64,
+        shape,
+        elements=st.floats(lo, hi, allow_nan=False, allow_infinity=False, width=64),
+    )
+
+
+small_dims = st.integers(min_value=1, max_value=5)
+
+
+class TestAutodiffProperties:
+    @given(arrays((3, 4)))
+    @settings(max_examples=25, deadline=None)
+    def test_grad_of_sum_is_ones(self, data):
+        x = Tensor(data, requires_grad=True)
+        x.sum().backward()
+        np.testing.assert_allclose(x.grad, np.ones_like(data))
+
+    @given(arrays((2, 3)), st.floats(-5, 5, allow_nan=False))
+    @settings(max_examples=25, deadline=None)
+    def test_gradient_linearity(self, data, alpha):
+        """grad of (alpha * f) == alpha * grad of f."""
+        x1 = Tensor(data, requires_grad=True)
+        (x1 * x1).sum().backward()
+        x2 = Tensor(data, requires_grad=True)
+        (alpha * (x2 * x2)).sum().backward()
+        np.testing.assert_allclose(x2.grad, alpha * x1.grad, atol=1e-9)
+
+    @given(arrays((3, 3)), arrays((3, 3)))
+    @settings(max_examples=25, deadline=None)
+    def test_sum_rule(self, a_data, b_data):
+        """grad through f+g equals grad through f plus grad through g."""
+        a = Tensor(a_data, requires_grad=True)
+        b = Tensor(b_data)
+        ((a * a) + (a * b)).sum().backward()
+        expected = 2 * a_data + b_data
+        np.testing.assert_allclose(a.grad, expected, atol=1e-9)
+
+    @given(arrays((4,), lo=-3, hi=3))
+    @settings(max_examples=25, deadline=None)
+    def test_exp_log_roundtrip_grad(self, data):
+        x = Tensor(data, requires_grad=True)
+        F.log(F.exp(x)).sum().backward()
+        np.testing.assert_allclose(x.grad, np.ones_like(data), atol=1e-8)
+
+
+class TestSoftmaxProperties:
+    @given(arrays((3, 7), lo=-50, hi=50))
+    @settings(max_examples=30, deadline=None)
+    def test_simplex(self, data):
+        out = F.softmax(Tensor(data), axis=-1).data
+        assert np.all(out >= 0)
+        np.testing.assert_allclose(out.sum(axis=-1), 1.0, atol=1e-9)
+
+    @given(arrays((2, 5), lo=-20, hi=20), st.floats(-10, 10, allow_nan=False))
+    @settings(max_examples=25, deadline=None)
+    def test_shift_invariance(self, data, shift):
+        a = F.softmax(Tensor(data), axis=-1).data
+        b = F.softmax(Tensor(data + shift), axis=-1).data
+        np.testing.assert_allclose(a, b, atol=1e-9)
+
+    @given(arrays((6,), lo=-5, hi=5))
+    @settings(max_examples=25, deadline=None)
+    def test_log_softmax_consistency(self, data):
+        log_sm = F.log_softmax(Tensor(data)).data
+        sm = F.softmax(Tensor(data)).data
+        np.testing.assert_allclose(np.exp(log_sm), sm, atol=1e-9)
+
+
+class TestDecompositionProperties:
+    @given(arrays((2, 20, 3)), st.sampled_from([3, 5, 9, 15]))
+    @settings(max_examples=25, deadline=None)
+    def test_reconstruction(self, data, kernel):
+        trend, seasonal = SeriesDecomposition(kernel)(Tensor(data))
+        np.testing.assert_allclose(trend.data + seasonal.data, data, atol=1e-9)
+
+    @given(st.floats(-100, 100, allow_nan=False), st.sampled_from([3, 7]))
+    @settings(max_examples=20, deadline=None)
+    def test_constant_is_pure_trend(self, value, kernel):
+        x = Tensor(np.full((1, 16, 2), value))
+        trend, seasonal = SeriesDecomposition(kernel)(x)
+        np.testing.assert_allclose(trend.data, value, atol=1e-9)
+        np.testing.assert_allclose(seasonal.data, 0.0, atol=1e-9)
+
+    @given(arrays((1, 24, 2)), st.floats(-10, 10, allow_nan=False))
+    @settings(max_examples=20, deadline=None)
+    def test_shift_equivariance(self, data, shift):
+        """Decomp(x + c) == (trend + c, seasonal)."""
+        decomp = SeriesDecomposition(5)
+        t1, s1 = decomp(Tensor(data))
+        t2, s2 = decomp(Tensor(data + shift))
+        np.testing.assert_allclose(t2.data, t1.data + shift, atol=1e-9)
+        np.testing.assert_allclose(s2.data, s1.data, atol=1e-9)
+
+
+class TestScalerProperties:
+    @given(arrays((30, 4), lo=-1e3, hi=1e3))
+    @settings(max_examples=25, deadline=None)
+    def test_roundtrip(self, data):
+        scaler = StandardScaler().fit(data)
+        recovered = scaler.inverse_transform(scaler.transform(data))
+        np.testing.assert_allclose(recovered, data, atol=1e-6)
+
+    @given(arrays((25, 3), lo=-100, hi=100))
+    @settings(max_examples=25, deadline=None)
+    def test_transform_is_affine(self, data):
+        """transform(a) - transform(b) is scale-only (no shift)."""
+        scaler = StandardScaler().fit(data)
+        a, b = data[:5], data[5:10]
+        diff_raw = a - b
+        diff_scaled = scaler.transform(a) - scaler.transform(b)
+        np.testing.assert_allclose(diff_scaled * scaler.std_, diff_raw, atol=1e-8)
+
+
+class TestWindowProperties:
+    @given(
+        st.integers(min_value=20, max_value=120),
+        st.integers(min_value=2, max_value=12),
+        st.integers(min_value=1, max_value=8),
+        st.integers(min_value=1, max_value=4),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_window_count_and_bounds(self, n, input_len, pred_len, stride):
+        values = np.arange(n, dtype=float)[:, None]
+        marks = np.zeros((n, 2))
+        ws = WindowedDataset(values, marks, input_len, pred_len, stride=stride)
+        usable = n - input_len - pred_len + 1
+        assert len(ws) == max(0, (usable + stride - 1) // stride)
+        if len(ws):
+            last = ws[len(ws) - 1]
+            # final target must stay inside the series
+            assert last.y[-1, 0] <= n - 1
+
+    @given(st.integers(min_value=30, max_value=80), st.integers(min_value=0, max_value=10))
+    @settings(max_examples=30, deadline=None)
+    def test_x_dec_layout(self, n, index_offset):
+        values = np.arange(n, dtype=float)[:, None]
+        ws = WindowedDataset(values, np.zeros((n, 1)), 8, 4, label_len=3)
+        index = min(index_offset, len(ws) - 1)
+        s = ws[index]
+        # label section equals tail of encoder input; pred section is zeros
+        np.testing.assert_array_equal(s.x_dec[:3, 0], s.x_enc[-3:, 0])
+        np.testing.assert_array_equal(s.x_dec[3:, 0], 0.0)
+        # target continues exactly where the encoder window ends
+        assert s.y[0, 0] == s.x_enc[-1, 0] + 1
+
+
+class TestAttentionProperties:
+    @given(arrays((1, 1, 6, 4), lo=-3, hi=3))
+    @settings(max_examples=15, deadline=None)
+    def test_full_attention_convexity(self, q_data):
+        """Attention output is a convex combination of values: bounded by
+        the min/max of V per channel."""
+        q = Tensor(q_data)
+        k = Tensor(q_data[..., ::-1].copy())
+        v_data = np.random.default_rng(0).normal(size=(1, 1, 6, 4))
+        out = nn.FullAttention()(q, k, Tensor(v_data)).data
+        assert np.all(out <= v_data.max(axis=2, keepdims=True) + 1e-9)
+        assert np.all(out >= v_data.min(axis=2, keepdims=True) - 1e-9)
+
+    @given(st.integers(min_value=2, max_value=10), st.sampled_from([2, 4]))
+    @settings(max_examples=15, deadline=None)
+    def test_window_attention_matches_banded_full(self, length, window):
+        rng = np.random.default_rng(length)
+        q = Tensor(rng.normal(size=(1, 1, length, 3)))
+        k = Tensor(rng.normal(size=(1, 1, length, 3)))
+        v = Tensor(rng.normal(size=(1, 1, length, 3)))
+        swa = nn.SlidingWindowAttention(window=window)(q, k, v).data
+        idx = np.arange(length)
+        band = np.abs(idx[:, None] - idx[None, :]) > window // 2
+        full = nn.FullAttention()(q, k, v, mask=band).data
+        np.testing.assert_allclose(swa, full, atol=1e-9)
+
+
+class TestDiagnosticsProperties:
+    @given(arrays((120,), lo=-20, hi=20), st.sampled_from([4, 8, 12]))
+    @settings(max_examples=20, deadline=None)
+    def test_seasonal_strength_bounded(self, data, period):
+        from repro.data.diagnostics import seasonal_strength
+
+        s = seasonal_strength(data, period)
+        assert 0.0 <= s <= 1.0
+
+    @given(arrays((150,), lo=-50, hi=50))
+    @settings(max_examples=20, deadline=None)
+    def test_burstiness_bounded(self, data):
+        from repro.data.diagnostics import burstiness
+
+        assert -1.0 <= burstiness(data) <= 1.0
+
+    @given(arrays((200,), lo=-10, hi=10))
+    @settings(max_examples=15, deadline=None)
+    def test_ljung_box_p_value_valid(self, data):
+        from repro.data.diagnostics import ljung_box
+
+        p = ljung_box(data, lags=10)["p_value"]
+        assert 0.0 <= p <= 1.0
+
+
+class TestImputationProperties:
+    @given(arrays((40, 2), lo=-100, hi=100), st.integers(min_value=0, max_value=30))
+    @settings(max_examples=20, deadline=None)
+    def test_imputers_preserve_observed_cells(self, data, n_holes):
+        from repro.data.missing import forward_fill, linear_interpolate
+
+        rng = np.random.default_rng(0)
+        holey = data.copy()
+        rows = rng.integers(1, 40, size=n_holes)  # keep row 0 observed
+        holey[rows, rng.integers(0, 2, size=n_holes)] = np.nan
+        observed = ~np.isnan(holey)
+        for imputer in (forward_fill, linear_interpolate):
+            out = imputer(holey)
+            assert not np.isnan(out).any()
+            np.testing.assert_array_equal(out[observed], holey[observed])
+
+    @given(arrays((30, 3), lo=-50, hi=50))
+    @settings(max_examples=20, deadline=None)
+    def test_complete_data_fixed_point(self, data):
+        from repro.data.missing import forward_fill, linear_interpolate
+
+        np.testing.assert_array_equal(forward_fill(data), data)
+        np.testing.assert_array_equal(linear_interpolate(data), data)
+
+
+class TestEnsembleProperties:
+    @given(
+        hnp.arrays(np.float64, (3,), elements=st.floats(0.01, 10.0, allow_nan=False)),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_weights_always_simplex(self, raw):
+        from repro.training.ensembling import ForecastEnsemble
+
+        normalized = ForecastEnsemble._normalize(raw)
+        assert normalized.min() >= 0
+        assert normalized.sum() == pytest.approx(1.0)
+
+
+class TestConformalProperties:
+    @given(arrays((200,), lo=-50, hi=50), st.sampled_from([0.5, 0.8, 0.9, 0.95]))
+    @settings(max_examples=25, deadline=None)
+    def test_radius_covers_requested_fraction(self, residuals, level):
+        radius = conformal_radius(residuals, level)
+        covered = np.mean(np.abs(residuals) <= radius)
+        assert covered >= level - 1e-9
+
+    @given(arrays((50,), lo=-10, hi=10))
+    @settings(max_examples=20, deadline=None)
+    def test_radius_monotone_in_level(self, residuals):
+        assert conformal_radius(residuals, 0.95) >= conformal_radius(residuals, 0.5)

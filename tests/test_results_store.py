@@ -1,0 +1,82 @@
+"""Tests for the JSONL experiment-result store."""
+
+import numpy as np
+import pytest
+
+from repro.training.experiment import ExperimentResult
+from repro.training.results import ResultStore
+
+
+def make_result(dataset="etth1", model="gru", pred_len=12, mse=1.0, mae=0.8):
+    return ExperimentResult(
+        dataset=dataset, model=model, pred_len=pred_len, mse=mse, mae=mae,
+        per_seed=[{"mse": mse, "mae": mae, "rmse": mse**0.5, "mape": 0.1}],
+    )
+
+
+class TestResultStore:
+    def test_append_and_read(self, tmp_path):
+        store = ResultStore(str(tmp_path / "runs.jsonl"))
+        store.append(make_result())
+        store.append(make_result(model="conformer", mse=0.5))
+        assert len(store) == 2
+        records = list(store.records())
+        assert records[0]["model"] == "gru"
+        assert records[1]["mse"] == 0.5
+        assert "timestamp" in records[0]
+
+    def test_empty_store(self, tmp_path):
+        store = ResultStore(str(tmp_path / "missing.jsonl"))
+        assert len(store) == 0
+        assert store.query() == []
+
+    def test_query_filters(self, tmp_path):
+        store = ResultStore(str(tmp_path / "runs.jsonl"))
+        store.append(make_result(dataset="etth1", model="gru"))
+        store.append(make_result(dataset="wind", model="gru"))
+        store.append(make_result(dataset="wind", model="conformer", pred_len=48))
+        assert len(store.query(dataset="wind")) == 2
+        assert len(store.query(model="gru")) == 2
+        assert len(store.query(dataset="wind", pred_len=48)) == 1
+
+    def test_tags(self, tmp_path):
+        store = ResultStore(str(tmp_path / "runs.jsonl"))
+        store.append(make_result(), tags={"profile": "tiny", "note": "smoke"})
+        rec = next(store.records())
+        assert rec["tags"]["profile"] == "tiny"
+
+    def test_best_per_cell(self, tmp_path):
+        store = ResultStore(str(tmp_path / "runs.jsonl"))
+        store.append(make_result(model="gru", mse=1.0))
+        store.append(make_result(model="conformer", mse=0.4))
+        store.append(make_result(dataset="wind", model="gru", mse=2.0))
+        best = store.best_per_cell()
+        assert best[("etth1", 12)]["model"] == "conformer"
+        assert best[("wind", 12)]["mse"] == 2.0
+
+    def test_leaderboard_latest_per_model(self, tmp_path):
+        store = ResultStore(str(tmp_path / "runs.jsonl"))
+        store.append(make_result(model="gru", mse=1.0))
+        store.append(make_result(model="gru", mse=0.7))  # re-run: later wins
+        store.append(make_result(model="conformer", mse=0.9))
+        board = store.leaderboard("etth1", 12)
+        assert [r["model"] for r in board] == ["gru", "conformer"]
+        assert board[0]["mse"] == 0.7
+
+    def test_summary_table(self, tmp_path):
+        store = ResultStore(str(tmp_path / "runs.jsonl"))
+        store.append(make_result())
+        text = store.summary_table()
+        assert "etth1" in text and "gru" in text
+
+    def test_corrupt_line_raises(self, tmp_path):
+        path = tmp_path / "runs.jsonl"
+        path.write_text('{"ok": 1}\nnot-json\n')
+        store = ResultStore(str(path))
+        with pytest.raises(ValueError):
+            list(store.records())
+
+    def test_creates_parent_dirs(self, tmp_path):
+        store = ResultStore(str(tmp_path / "deep" / "nested" / "runs.jsonl"))
+        store.append(make_result())
+        assert len(store) == 1

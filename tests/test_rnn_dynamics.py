@@ -1,0 +1,93 @@
+"""Behavioural tests for the recurrent substrate beyond shape checks."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.tensor import Tensor
+
+RNG = np.random.default_rng(131)
+
+
+class TestGRUDynamics:
+    def test_zero_input_zero_state_stays_zero(self):
+        """With zero biases (our init), h=0 and x=0 is a fixed point:
+        n = tanh(0) = 0 and h' = (1-z)*0 + z*0 = 0."""
+        cell = nn.GRUCell(3, 4)
+        x = Tensor(np.zeros((2, 6, 3)))
+        out, h = cell(x)
+        np.testing.assert_allclose(out.data, 0.0, atol=1e-12)
+        np.testing.assert_allclose(h.data, 0.0, atol=1e-12)
+
+    def test_outputs_bounded_by_tanh(self):
+        """GRU hidden state is a convex mix of tanh outputs: |h| <= 1."""
+        cell = nn.GRUCell(2, 5)
+        x = Tensor(RNG.normal(scale=50.0, size=(3, 20, 2)))
+        out, _ = cell(x)
+        assert np.all(np.abs(out.data) <= 1.0 + 1e-12)
+
+    def test_recurrence_actually_used(self):
+        """Changing an early timestep changes later outputs."""
+        cell = nn.GRUCell(2, 4)
+        x1 = RNG.normal(size=(1, 10, 2))
+        x2 = x1.copy()
+        x2[0, 0, :] += 5.0
+        out1, _ = cell(Tensor(x1))
+        out2, _ = cell(Tensor(x2))
+        assert not np.allclose(out1.data[0, -1], out2.data[0, -1])
+
+    def test_causality(self):
+        """Changing a late timestep must NOT change earlier outputs."""
+        cell = nn.GRUCell(2, 4)
+        x1 = RNG.normal(size=(1, 10, 2))
+        x2 = x1.copy()
+        x2[0, -1, :] += 5.0
+        out1, _ = cell(Tensor(x1))
+        out2, _ = cell(Tensor(x2))
+        np.testing.assert_allclose(out1.data[0, :-1], out2.data[0, :-1])
+
+    def test_long_sequence_gradient_flows_to_start(self):
+        """Gradients propagate through 50 steps without vanishing to zero."""
+        cell = nn.GRUCell(1, 4)
+        x = Tensor(RNG.normal(size=(1, 50, 1)), requires_grad=True)
+        out, h = cell(x)
+        (h ** 2).sum().backward()
+        assert x.grad is not None
+        assert np.abs(x.grad[0, 0]).max() > 0
+
+    def test_lstm_cell_state_unbounded_but_hidden_bounded(self):
+        cell = nn.LSTMCell(2, 4)
+        x = Tensor(RNG.normal(scale=10.0, size=(2, 30, 2)))
+        out, (h, c) = cell(x)
+        assert np.all(np.abs(h.data) <= 1.0 + 1e-12)
+        assert np.all(np.isfinite(c.data))
+
+
+class TestGRUGradClipInteraction:
+    def test_trainer_grad_clip_limits_update(self):
+        """With an absurd LR, clipping keeps parameters finite."""
+        from repro.data import DataLoader, WindowedDataset
+        from repro.training import Trainer
+        from repro.baselines import GRUForecaster
+
+        values = RNG.normal(size=(200, 2)) * 100.0
+        marks = RNG.normal(size=(200, 2))
+        windows = WindowedDataset(values, marks, input_len=8, pred_len=4, stride=8)
+        loader = DataLoader(windows, batch_size=8)
+        model = GRUForecaster(enc_in=2, c_out=2, pred_len=4, hidden_size=8, d_time=2, dropout=0.0)
+        trainer = Trainer(model, learning_rate=10.0, max_epochs=1, grad_clip=0.5)
+        trainer.fit(loader)
+        for p in model.parameters():
+            assert np.all(np.isfinite(p.data))
+
+    def test_no_clip_option(self):
+        from repro.data import DataLoader, WindowedDataset
+        from repro.training import Trainer
+        from repro.baselines import GRUForecaster
+
+        values = RNG.normal(size=(100, 2))
+        windows = WindowedDataset(values, np.zeros((100, 2)), input_len=8, pred_len=4, stride=8)
+        loader = DataLoader(windows, batch_size=8)
+        model = GRUForecaster(enc_in=2, c_out=2, pred_len=4, hidden_size=8, d_time=2, dropout=0.0)
+        history = Trainer(model, learning_rate=1e-3, max_epochs=1, grad_clip=None).fit(loader)
+        assert history.epochs_run == 1

@@ -1,0 +1,319 @@
+"""Unit tests for the autodiff engine: every op vs finite differences."""
+
+import numpy as np
+import pytest
+
+from repro.tensor import Tensor, functional as F, no_grad
+from tests.helpers import check_gradients
+
+RNG = np.random.default_rng(7)
+
+
+def randt(*shape, scale=1.0):
+    return Tensor(RNG.normal(0.0, scale, size=shape), requires_grad=True)
+
+
+class TestArithmetic:
+    def test_add_broadcast(self):
+        a, b = randt(3, 4), randt(4)
+        check_gradients(lambda: (a + b).sum(), [a, b])
+
+    def test_sub(self):
+        a, b = randt(2, 3), randt(2, 3)
+        check_gradients(lambda: (a - b).sum(), [a, b])
+
+    def test_mul_broadcast(self):
+        a, b = randt(2, 3, 4), randt(1, 3, 1)
+        check_gradients(lambda: (a * b).sum(), [a, b])
+
+    def test_div(self):
+        a = randt(3, 3)
+        b = Tensor(RNG.uniform(0.5, 2.0, (3, 3)), requires_grad=True)
+        check_gradients(lambda: (a / b).sum(), [a, b])
+
+    def test_neg_pow(self):
+        a = Tensor(RNG.uniform(0.5, 2.0, (4,)), requires_grad=True)
+        check_gradients(lambda: (-(a**3)).sum(), [a])
+
+    def test_scalar_ops(self):
+        a = randt(3)
+        check_gradients(lambda: (2.0 * a + 1.0 - a / 3.0).sum(), [a])
+
+    def test_rsub_rdiv(self):
+        a = Tensor(RNG.uniform(0.5, 2.0, (3,)), requires_grad=True)
+        check_gradients(lambda: (1.0 - a).sum() + (2.0 / a).sum(), [a])
+
+
+class TestMatmul:
+    def test_matmul_2d(self):
+        a, b = randt(3, 4), randt(4, 5)
+        check_gradients(lambda: (a @ b).sum(), [a, b])
+
+    def test_matmul_batched(self):
+        a, b = randt(2, 3, 4), randt(2, 4, 5)
+        check_gradients(lambda: (a @ b).sum(), [a, b])
+
+    def test_matmul_broadcast_batch(self):
+        a, b = randt(2, 3, 4), randt(4, 5)
+        check_gradients(lambda: (a @ b).sum(), [a, b])
+
+
+class TestReductions:
+    def test_sum_axis(self):
+        a = randt(3, 4, 5)
+        check_gradients(lambda: a.sum(axis=1).sum(), [a])
+
+    def test_sum_keepdims(self):
+        a = randt(3, 4)
+        check_gradients(lambda: (a.sum(axis=0, keepdims=True) * a).sum(), [a])
+
+    def test_mean(self):
+        a = randt(4, 5)
+        check_gradients(lambda: a.mean(), [a])
+
+    def test_mean_axis(self):
+        a = randt(2, 6)
+        check_gradients(lambda: (a.mean(axis=1) ** 2).sum(), [a])
+
+    def test_var(self):
+        a = randt(3, 7)
+        check_gradients(lambda: a.var(axis=1).sum(), [a])
+
+    def test_max(self):
+        a = Tensor(np.array([[1.0, 5.0, 2.0], [7.0, 0.0, 3.0]]), requires_grad=True)
+        check_gradients(lambda: a.max(axis=1).sum(), [a])
+
+    def test_min(self):
+        a = Tensor(np.array([[1.0, 5.0, 2.0], [7.0, 0.0, 3.0]]), requires_grad=True)
+        check_gradients(lambda: a.min(axis=0).sum(), [a])
+
+
+class TestElementwise:
+    @pytest.mark.parametrize(
+        "op",
+        [F.exp, F.tanh, F.sigmoid, F.relu, F.gelu, F.elu, F.softplus, F.erf, F.leaky_relu],
+    )
+    def test_activation_gradients(self, op):
+        a = randt(4, 3, scale=0.8)
+        # nudge away from relu kink at 0
+        a.data[np.abs(a.data) < 1e-3] += 0.01
+        check_gradients(lambda: op(a).sum(), [a])
+
+    def test_log_sqrt(self):
+        a = Tensor(RNG.uniform(0.5, 3.0, (5,)), requires_grad=True)
+        check_gradients(lambda: (F.log(a) + F.sqrt(a)).sum(), [a])
+
+    def test_abs(self):
+        a = randt(6)
+        a.data[np.abs(a.data) < 1e-3] += 0.01
+        check_gradients(lambda: a.abs().sum(), [a])
+
+    def test_clip(self):
+        a = randt(8)
+        a.data[np.abs(np.abs(a.data) - 0.5) < 1e-3] += 0.01
+        check_gradients(lambda: a.clip(-0.5, 0.5).sum(), [a])
+
+    def test_maximum(self):
+        a, b = randt(5), randt(5)
+        b.data += 0.05  # avoid exact ties
+        check_gradients(lambda: F.maximum(a, b).sum(), [a, b])
+
+    def test_where(self):
+        a, b = randt(5), randt(5)
+        cond = RNG.random(5) > 0.5
+        check_gradients(lambda: F.where(cond, a, b).sum(), [a, b])
+
+
+class TestSoftmax:
+    def test_softmax_grad(self):
+        a = randt(3, 6)
+        w = Tensor(RNG.normal(size=(3, 6)))
+        check_gradients(lambda: (F.softmax(a, axis=-1) * w).sum(), [a])
+
+    def test_softmax_rows_sum_to_one(self):
+        a = randt(4, 9)
+        out = F.softmax(a, axis=-1)
+        np.testing.assert_allclose(out.data.sum(axis=-1), 1.0, atol=1e-12)
+
+    def test_log_softmax_grad(self):
+        a = randt(2, 5)
+        w = Tensor(RNG.normal(size=(2, 5)))
+        check_gradients(lambda: (F.log_softmax(a, axis=-1) * w).sum(), [a])
+
+    def test_softmax_stability(self):
+        a = Tensor(np.array([[1000.0, 1000.0, 999.0]]))
+        out = F.softmax(a, axis=-1)
+        assert np.all(np.isfinite(out.data))
+
+
+class TestShapeOps:
+    def test_reshape(self):
+        a = randt(2, 6)
+        check_gradients(lambda: (a.reshape(3, 4) ** 2).sum(), [a])
+
+    def test_transpose(self):
+        a = randt(2, 3, 4)
+        check_gradients(lambda: (a.transpose(2, 0, 1) ** 2).sum(), [a])
+
+    def test_swapaxes(self):
+        a = randt(2, 3, 4)
+        check_gradients(lambda: (a.swapaxes(1, 2) ** 2).sum(), [a])
+
+    def test_getitem_slice(self):
+        a = randt(5, 4)
+        check_gradients(lambda: (a[1:4, ::2] ** 2).sum(), [a])
+
+    def test_getitem_fancy(self):
+        a = randt(6, 3)
+        idx = np.array([0, 2, 2, 5])  # repeated index must accumulate
+        check_gradients(lambda: (a[idx] ** 2).sum(), [a])
+
+    def test_concat(self):
+        a, b = randt(2, 3), randt(2, 5)
+        check_gradients(lambda: (F.concat([a, b], axis=1) ** 2).sum(), [a, b])
+
+    def test_stack(self):
+        a, b = randt(3, 4), randt(3, 4)
+        check_gradients(lambda: (F.stack([a, b], axis=0) ** 2).sum(), [a, b])
+
+    def test_split_roundtrip(self):
+        a = randt(4, 6)
+        parts = F.split(a, 3, axis=1)
+        assert len(parts) == 3
+        check_gradients(lambda: sum((p**2).sum() for p in F.split(a, 3, axis=1)), [a])
+
+    def test_expand_squeeze(self):
+        a = randt(3, 4)
+        check_gradients(lambda: (a.expand_dims(1).squeeze(1) ** 2).sum(), [a])
+
+    def test_broadcast_to(self):
+        a = randt(1, 4)
+        check_gradients(lambda: (a.broadcast_to((3, 4)) ** 2).sum(), [a])
+
+
+class TestPadding:
+    @pytest.mark.parametrize("mode", ["constant", "edge", "wrap"])
+    def test_pad_grad(self, mode):
+        a = randt(2, 5, 3)
+        check_gradients(lambda: (F.pad(a, ((0, 0), (2, 1), (0, 0)), mode=mode) ** 2).sum(), [a])
+
+    def test_pad_shape(self):
+        a = randt(2, 5, 3)
+        out = F.pad(a, ((0, 0), (2, 3), (1, 0)))
+        assert out.shape == (2, 10, 4)
+
+
+class TestConvPool:
+    def test_conv1d_grad(self):
+        x, w, b = randt(2, 7, 3), randt(3, 3, 4), randt(4)
+        check_gradients(lambda: (F.conv1d(x, w, b, padding=1) ** 2).sum(), [x, w, b])
+
+    def test_conv1d_circular(self):
+        x, w = randt(1, 6, 2), randt(3, 2, 2)
+        out = F.conv1d(x, w, padding=1, padding_mode="wrap")
+        assert out.shape == (1, 6, 2)
+        check_gradients(lambda: (F.conv1d(x, w, padding=1, padding_mode="wrap") ** 2).sum(), [x, w])
+
+    def test_conv1d_matches_manual(self):
+        x = Tensor(np.arange(5, dtype=float).reshape(1, 5, 1))
+        w = Tensor(np.ones((3, 1, 1)))
+        out = F.conv1d(x, w, padding=0)
+        np.testing.assert_allclose(out.data.ravel(), [3.0, 6.0, 9.0])
+
+    def test_avg_pool_keeps_length(self):
+        x = randt(2, 9, 3)
+        out = F.avg_pool1d(x, kernel=5)
+        assert out.shape == (2, 9, 3)
+
+    def test_avg_pool_grad(self):
+        x = randt(1, 7, 2)
+        check_gradients(lambda: (F.avg_pool1d(x, kernel=3) ** 2).sum(), [x])
+
+    def test_avg_pool_constant_series(self):
+        x = Tensor(np.full((1, 8, 1), 2.5))
+        out = F.avg_pool1d(x, kernel=5)
+        np.testing.assert_allclose(out.data, 2.5)
+
+    def test_max_pool(self):
+        x = randt(2, 8, 3)
+        out = F.max_pool1d(x, kernel=2, stride=2)
+        assert out.shape == (2, 4, 3)
+        check_gradients(lambda: (F.max_pool1d(x, kernel=2, stride=2) ** 2).sum(), [x])
+
+
+class TestLosses:
+    def test_mse(self):
+        pred, target = randt(4, 3), randt(4, 3)
+        loss = F.mse_loss(pred, target)
+        expected = np.mean((pred.data - target.data) ** 2)
+        assert loss.item() == pytest.approx(expected)
+        check_gradients(lambda: F.mse_loss(pred, target), [pred])
+
+    def test_mae(self):
+        pred, target = randt(4, 3), randt(4, 3)
+        loss = F.mae_loss(pred, target)
+        assert loss.item() == pytest.approx(np.mean(np.abs(pred.data - target.data)))
+
+    def test_huber_between_mse_and_mae_shape(self):
+        pred, target = randt(10), randt(10)
+        check_gradients(lambda: F.huber_loss(pred, target, delta=0.7), [pred])
+
+
+class TestAutodiffMechanics:
+    def test_grad_accumulates_across_uses(self):
+        a = Tensor(np.array([2.0]), requires_grad=True)
+        out = a * a + a  # dy/da = 2a + 1 = 5
+        out.backward()
+        np.testing.assert_allclose(a.grad, [5.0])
+
+    def test_backward_requires_scalar(self):
+        a = randt(3)
+        with pytest.raises(RuntimeError):
+            (a * 2).backward()
+
+    def test_backward_with_seed_grad(self):
+        a = randt(3)
+        out = a * 3.0
+        out.backward(np.ones(3))
+        np.testing.assert_allclose(a.grad, 3.0 * np.ones(3))
+
+    def test_no_grad_blocks_tape(self):
+        a = randt(3)
+        with no_grad():
+            out = a * 2 + 1
+        assert not out.requires_grad
+        assert out._parents == ()
+
+    def test_detach(self):
+        a = randt(3)
+        d = a.detach()
+        out = (d * 2).sum()
+        assert not out.requires_grad
+
+    def test_zero_grad(self):
+        a = randt(3)
+        (a.sum()).backward()
+        assert a.grad is not None
+        a.zero_grad()
+        assert a.grad is None
+
+    def test_diamond_graph(self):
+        a = Tensor(np.array([3.0]), requires_grad=True)
+        b = a * 2
+        c = a * 4
+        out = (b + c).sum()  # d/da = 6
+        out.backward()
+        np.testing.assert_allclose(a.grad, [6.0])
+
+    def test_deep_chain_no_recursion_error(self):
+        a = Tensor(np.array([1.0]), requires_grad=True)
+        out = a
+        for _ in range(3000):
+            out = out + 0.001
+        out.sum().backward()
+        np.testing.assert_allclose(a.grad, [1.0])
+
+    def test_backward_on_non_grad_tensor_raises(self):
+        a = Tensor(np.array([1.0]))
+        with pytest.raises(RuntimeError):
+            a.backward()

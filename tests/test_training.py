@@ -1,0 +1,177 @@
+"""Tests for metrics, trainer, and the experiment runner."""
+
+import numpy as np
+import pytest
+
+from repro.training import (
+    ExperimentSettings,
+    Trainer,
+    available_models,
+    build_model,
+    make_loaders,
+    run_experiment,
+)
+from repro.training import metrics as M
+from repro.data import load_dataset
+
+
+FAST = ExperimentSettings(
+    input_len=16,
+    label_len=8,
+    d_model=8,
+    n_heads=2,
+    e_layers=1,
+    d_layers=1,
+    d_ff=16,
+    n_points=400,
+    max_epochs=1,
+    batch_size=8,
+    window_stride=16,
+    eval_stride=16,
+    max_train_windows=16,
+    max_eval_windows=8,
+    moving_avg=5,
+)
+
+
+class TestMetrics:
+    def test_mse_mae_known_values(self):
+        pred = np.array([1.0, 2.0, 3.0])
+        target = np.array([1.0, 1.0, 5.0])
+        assert M.mse(pred, target) == pytest.approx((0 + 1 + 4) / 3)
+        assert M.mae(pred, target) == pytest.approx((0 + 1 + 2) / 3)
+
+    def test_rmse(self):
+        pred, target = np.array([2.0]), np.array([0.0])
+        assert M.rmse(pred, target) == pytest.approx(2.0)
+
+    def test_mape(self):
+        pred, target = np.array([110.0]), np.array([100.0])
+        assert M.mape(pred, target) == pytest.approx(0.1)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            M.mse(np.zeros(3), np.zeros(4))
+
+    def test_evaluate_keys(self):
+        out = M.evaluate(np.zeros((2, 3)), np.ones((2, 3)))
+        assert set(out) == {"mse", "mae", "rmse", "mape"}
+        assert out["mse"] == pytest.approx(1.0)
+
+    def test_coverage(self):
+        target = np.array([0.0, 0.5, 2.0])
+        lower, upper = np.full(3, -1.0), np.full(3, 1.0)
+        assert M.coverage(lower, upper, target) == pytest.approx(2 / 3)
+
+    def test_interval_width(self):
+        assert M.interval_width(np.zeros(4), np.full(4, 2.0)) == pytest.approx(2.0)
+
+
+class TestTrainer:
+    def _setup(self, model_name="gru"):
+        ds = load_dataset("etth1", n_points=400)
+        train, val, test = make_loaders(ds, FAST, pred_len=4)
+        model = build_model(model_name, ds.n_dims, ds.n_dims, 4, FAST)
+        return model, train, val, test
+
+    def test_fit_returns_history(self):
+        model, train, val, _ = self._setup()
+        trainer = Trainer(model, learning_rate=1e-3, max_epochs=2)
+        history = trainer.fit(train, val)
+        assert history.epochs_run >= 1
+        assert len(history.train_loss) == history.epochs_run
+        assert len(history.val_loss) == history.epochs_run
+        assert history.wall_time > 0
+
+    def test_fit_without_val(self):
+        model, train, _, _ = self._setup()
+        history = Trainer(model, max_epochs=1).fit(train)
+        assert history.val_loss == []
+
+    def test_evaluate_produces_metrics(self):
+        model, train, _, test = self._setup()
+        trainer = Trainer(model, max_epochs=1)
+        trainer.fit(train)
+        result = trainer.evaluate(test)
+        assert result["mse"] > 0 and result["mae"] > 0
+
+    def test_training_improves_over_init(self):
+        model, train, val, _ = self._setup()
+        trainer = Trainer(model, learning_rate=3e-3, max_epochs=3, patience=10)
+        initial = trainer.evaluate_loss(val)
+        trainer.fit(train, val)
+        assert trainer.evaluate_loss(val) < initial
+
+    def test_early_stopping_restores_best(self):
+        model, train, val, _ = self._setup()
+        trainer = Trainer(model, learning_rate=1e-3, max_epochs=3, patience=1)
+        history = trainer.fit(train, val)
+        best = min(history.val_loss)
+        final = trainer.evaluate_loss(val)
+        assert final <= best * 1.05  # restored weights score like the best epoch
+
+
+class TestExperimentRunner:
+    def test_registry_contents(self):
+        names = available_models()
+        for expected in [
+            "conformer",
+            "informer",
+            "autoformer",
+            "reformer",
+            "longformer",
+            "logtrans",
+            "gru",
+            "lstnet",
+            "nbeats",
+            "ts2vec",
+            "transformer",
+        ]:
+            assert expected in names
+
+    def test_unknown_model(self):
+        with pytest.raises(ValueError):
+            build_model("prophet", 4, 4, 8, FAST)
+
+    def test_run_experiment_conformer(self):
+        result = run_experiment("etth1", "conformer", pred_len=4, settings=FAST)
+        assert result.mse > 0 and result.mae > 0
+        assert result.dataset == "etth1" and result.model == "conformer"
+        assert "mse=" in result.row()
+
+    def test_run_experiment_multiseed(self):
+        result = run_experiment("etth1", "gru", pred_len=4, settings=FAST, seeds=(0, 1))
+        assert len(result.per_seed) == 2
+        assert result.mse == pytest.approx(np.mean([m["mse"] for m in result.per_seed]))
+
+    def test_run_experiment_univariate(self):
+        result = run_experiment("etth1", "gru", pred_len=4, settings=FAST, univariate=True)
+        assert result.mse > 0
+
+    def test_model_overrides(self):
+        result = run_experiment(
+            "etth1", "conformer", pred_len=4, settings=FAST, model_overrides={"flow_mode": "none"}
+        )
+        assert result.mse > 0
+
+    def test_scaled_pred_len(self):
+        s = ExperimentSettings(n_points=1000)
+        assert s.scaled_pred_len(768) == 96
+        assert s.scaled_pred_len(48) == 6
+        paper = ExperimentSettings(n_points=None)
+        assert paper.scaled_pred_len(768) == 768
+
+    def test_loader_caps_respected(self):
+        ds = load_dataset("etth1", n_points=2000)
+        train, val, test = make_loaders(ds, FAST, pred_len=4)
+        n_train = sum(b[0].shape[0] for b in train)
+        assert n_train <= FAST.max_train_windows * 1.5  # stride rounding slack
+
+    def test_active_profile_env(self, monkeypatch):
+        from repro.training.experiment import active_profile
+
+        monkeypatch.setenv("REPRO_SCALE", "small")
+        assert active_profile().d_model == 32
+        monkeypatch.setenv("REPRO_SCALE", "galactic")
+        with pytest.raises(ValueError):
+            active_profile()

@@ -1,0 +1,110 @@
+"""Tests for the shared Transformer scaffold (encoder/decoder layers,
+distilling) used by the baseline zoo."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.transformer_common import (
+    DistilLayer,
+    TransformerDecoderLayer,
+    TransformerEncoderLayer,
+    TransformerForecaster,
+)
+from repro.nn import FullAttention, SlidingWindowAttention
+from repro.tensor import Tensor
+
+RNG = np.random.default_rng(140)
+
+
+class TestEncoderLayer:
+    def _layer(self):
+        return TransformerEncoderLayer(8, 2, 16, dropout=0.0, attention=lambda: FullAttention())
+
+    def test_shape_preserved(self):
+        layer = self._layer()
+        x = Tensor(RNG.normal(size=(2, 10, 8)))
+        assert layer(x).shape == (2, 10, 8)
+
+    def test_residual_path(self):
+        """Output stays correlated with input (residual connections)."""
+        layer = self._layer()
+        layer.eval()
+        x = Tensor(RNG.normal(size=(1, 12, 8)))
+        out = layer(x).data
+        corr = np.corrcoef(x.data.ravel(), out.ravel())[0, 1]
+        assert corr > 0.2
+
+
+class TestDistilLayer:
+    def test_halves_length(self):
+        layer = DistilLayer(8)
+        x = Tensor(RNG.normal(size=(2, 12, 8)))
+        assert layer(x).shape == (2, 6, 8)
+
+    def test_odd_length(self):
+        layer = DistilLayer(8)
+        x = Tensor(RNG.normal(size=(1, 9, 8)))
+        assert layer(x).shape == (1, 4, 8)
+
+
+class TestDecoderLayer:
+    def test_cross_attention_used(self):
+        layer = TransformerDecoderLayer(
+            8, 2, 16, dropout=0.0,
+            self_attention=lambda: FullAttention(causal=True),
+            cross_attention=lambda: FullAttention(),
+        )
+        layer.eval()
+        x = Tensor(RNG.normal(size=(1, 6, 8)))
+        mem1 = Tensor(RNG.normal(size=(1, 10, 8)))
+        mem2 = Tensor(RNG.normal(size=(1, 10, 8)))
+        assert not np.allclose(layer(x, mem1).data, layer(x, mem2).data)
+
+
+class TestForecasterScaffold:
+    def test_custom_attention_factories(self):
+        model = TransformerForecaster(
+            enc_in=3, dec_in=3, c_out=3, pred_len=4, d_model=8, n_heads=2,
+            e_layers=1, d_layers=1, d_ff=16, dropout=0.0, d_time=2,
+            enc_attention=lambda: SlidingWindowAttention(window=2),
+        )
+        x_enc = Tensor(RNG.normal(size=(2, 8, 3)))
+        x_mark = Tensor(RNG.normal(size=(2, 8, 2)))
+        x_dec = Tensor(RNG.normal(size=(2, 8, 3)))
+        y_mark = Tensor(RNG.normal(size=(2, 8, 2)))
+        assert model(x_enc, x_mark, x_dec, y_mark).shape == (2, 4, 3)
+
+    def test_distil_skipped_on_short_sequences(self):
+        """Distilling halves lengths; short inputs must not collapse."""
+        model = TransformerForecaster(
+            enc_in=2, dec_in=2, c_out=2, pred_len=2, d_model=8, n_heads=2,
+            e_layers=3, d_layers=1, d_ff=16, dropout=0.0, d_time=2, distil=True,
+        )
+        x_enc = Tensor(RNG.normal(size=(1, 6, 2)))  # 6 -> 3 -> stop (< 4)
+        x_mark = Tensor(RNG.normal(size=(1, 6, 2)))
+        x_dec = Tensor(RNG.normal(size=(1, 4, 2)))
+        y_mark = Tensor(RNG.normal(size=(1, 4, 2)))
+        assert model(x_enc, x_mark, x_dec, y_mark).shape == (1, 2, 2)
+
+    def test_pred_slice_from_decoder_tail(self):
+        model = TransformerForecaster(
+            enc_in=2, dec_in=2, c_out=2, pred_len=3, d_model=8, n_heads=2,
+            e_layers=1, d_layers=1, d_ff=16, dropout=0.0, d_time=2,
+        )
+        x_enc = Tensor(RNG.normal(size=(1, 8, 2)))
+        x_mark = Tensor(RNG.normal(size=(1, 8, 2)))
+        x_dec = Tensor(RNG.normal(size=(1, 7, 2)))  # label 4 + pred 3
+        y_mark = Tensor(RNG.normal(size=(1, 7, 2)))
+        out = model(x_enc, x_mark, x_dec, y_mark)
+        assert out.shape == (1, 3, 2)
+
+
+class TestMainModule:
+    def test_python_dash_m_repro(self, capsys):
+        import subprocess, sys
+
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro", "models"], capture_output=True, text=True, timeout=120
+        )
+        assert proc.returncode == 0
+        assert "conformer" in proc.stdout
