@@ -1,0 +1,38 @@
+"""Perf regression guard for the fused autodiff kernels.
+
+Runs the canonical GRU-heavy Conformer training-step benchmark
+(:mod:`repro.perf.bench`) with fused kernels on and off, asserts the
+fused path keeps its >= 2x wall-clock advantage and its tape-node
+reduction, and writes ``BENCH_autodiff.json`` at the repo root so the
+perf trajectory is a tracked artifact.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.perf.bench import BENCH_FILENAME, run_autodiff_benchmark, write_bench_json
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+@pytest.mark.perf
+def test_fused_training_step_speedup():
+    result = run_autodiff_benchmark(repeats=5, warmup=1)
+    path = write_bench_json(result, REPO_ROOT / BENCH_FILENAME)
+    assert path.exists()
+
+    fused, unfused = result["fused"], result["unfused"]
+    # losses must agree: fusion is a perf change, not a numerics change
+    assert fused["final_loss"] == pytest.approx(unfused["final_loss"], rel=1e-3)
+
+    # the headline claims: >= 2x wall clock, far fewer tape nodes
+    assert result["speedup"] >= 2.0, f"fused speedup regressed: {result['speedup']:.2f}x"
+    assert result["tape_node_reduction"] >= 4.0
+    assert fused["tape_nodes_per_step"] < unfused["tape_nodes_per_step"]
+
+    # the fused kernels actually carry the recurrent path
+    fused_ops_seen = {row["op"] for row in fused["top_ops"]}
+    assert "gru_sequence" in fused_ops_seen

@@ -16,6 +16,8 @@ The package layers:
 - :mod:`repro.baselines` — the nine comparison models of the paper.
 - :mod:`repro.training` / :mod:`repro.eval` — trainer, metrics, the
   experiment runner, and the complexity/uncertainty probes.
+- :mod:`repro.perf` — op-level profiler, stage timers, and the canonical
+  autodiff benchmark (``python -m repro.perf``).
 
 Quickstart::
 

@@ -21,6 +21,7 @@ projections on ``(B, L, d_model)``.
 from __future__ import annotations
 
 import math
+from functools import lru_cache
 from typing import Optional
 
 import numpy as np
@@ -59,10 +60,8 @@ class FullAttention(AttentionMechanism):
         if self.causal and l_q == l_k:
             block = causal_mask(l_q)
             mask = block if mask is None else (mask | block)
-        if mask is not None:
-            scores = F.where(np.broadcast_to(mask, scores.shape), Tensor(np.full(scores.shape, _NEG_INF)), scores)
-        weights = F.softmax(scores, axis=-1)
-        weights = self.dropout(weights)
+        # fused mask+softmax: no (B, H, L, L) constant tensor is materialised
+        weights = self.dropout(F.softmax_masked(scores, mask, axis=-1))
         return weights @ v
 
 
@@ -99,17 +98,29 @@ class SlidingWindowAttention(AttentionMechanism):
         half = self.half
         k_windows = self._neighbourhoods(k, length)  # (B, H, L, w+1, d)
         v_windows = self._neighbourhoods(v, length)
-        q_expanded = q.expand_dims(3)  # (B, H, L, 1, d)
-        scores = (q_expanded * k_windows).sum(axis=-1) / math.sqrt(d_head)  # (B, H, L, w+1)
+        scale = math.sqrt(d_head)
 
         offsets = np.arange(-half, half + 1)
         positions = np.arange(length)[:, None] + offsets[None, :]
         invalid = (positions < 0) | (positions >= length)
         if self.causal:
             invalid = invalid | (offsets[None, :] > 0)
-        if np.any(invalid):
+        invalid_mask = invalid if np.any(invalid) else None
+
+        if F.fused_ops_enabled():
+            # contracted matmul + fused masked softmax: 3 tape nodes total
+            scores = F.einsum("bhld,bhlwd->bhlw", q, k_windows) * (1.0 / scale)
+            weights = self.dropout(F.softmax_masked(scores, invalid_mask, axis=-1))
+            return F.einsum("bhlw,bhlwd->bhld", weights, v_windows)
+        return self._forward_unfused(q, k_windows, v_windows, invalid_mask, scale)
+
+    def _forward_unfused(self, q, k_windows, v_windows, invalid_mask, scale):
+        """Broadcast-multiply-sum scores (benchmark baseline / reference)."""
+        q_expanded = q.expand_dims(3)  # (B, H, L, 1, d)
+        scores = (q_expanded * k_windows).sum(axis=-1) / scale  # (B, H, L, w+1)
+        if invalid_mask is not None:
             scores = F.where(
-                np.broadcast_to(invalid, scores.shape), Tensor(np.full(scores.shape, _NEG_INF)), scores
+                np.broadcast_to(invalid_mask, scores.shape), Tensor(np.full(scores.shape, _NEG_INF)), scores
             )
         weights = self.dropout(F.softmax(scores, axis=-1))  # (B, H, L, w+1)
         return (weights.expand_dims(-1) * v_windows).sum(axis=3)
@@ -156,14 +167,21 @@ class GlobalWindowAttention(AttentionMechanism):
         v_glob = v[:, :, glob, :].expand_dims(2).broadcast_to((batch, heads, length, g, d_head))
         keys = F.concat([k_local, k_glob], axis=3)  # (B, H, L, w+1+g, d)
         values = F.concat([v_local, v_glob], axis=3)
-        scores = (q.expand_dims(3) * keys).sum(axis=-1) / scale  # (B, H, L, w+1+g)
 
         positions = np.arange(length)[:, None] + offsets[None, :]
         invalid_local = (positions < 0) | (positions >= length)
         invalid = np.concatenate([invalid_local, np.zeros((length, g), dtype=bool)], axis=1)
-        scores = F.where(np.broadcast_to(invalid, scores.shape), Tensor(np.full(scores.shape, _NEG_INF)), scores)
-        weights = self.dropout(F.softmax(scores, axis=-1))
-        local_out = (weights.expand_dims(-1) * values).sum(axis=3)  # (B, H, L, d)
+        if F.fused_ops_enabled():
+            scores = F.einsum("bhld,bhlwd->bhlw", q, keys) * (1.0 / scale)  # (B, H, L, w+1+g)
+            weights = self.dropout(F.softmax_masked(scores, invalid, axis=-1))
+            local_out = F.einsum("bhlw,bhlwd->bhld", weights, values)  # (B, H, L, d)
+        else:
+            scores = (q.expand_dims(3) * keys).sum(axis=-1) / scale
+            scores = F.where(
+                np.broadcast_to(invalid, scores.shape), Tensor(np.full(scores.shape, _NEG_INF)), scores
+            )
+            weights = self.dropout(F.softmax(scores, axis=-1))
+            local_out = (weights.expand_dims(-1) * values).sum(axis=3)
 
         # ----- global queries: full rows over every position -----
         q_glob = q[:, :, glob, :]  # (B, H, g, d)
@@ -178,6 +196,26 @@ class GlobalWindowAttention(AttentionMechanism):
         return local_out * Tensor(1.0 - is_global) + Tensor(onehot) @ glob_out
 
 
+@lru_cache(maxsize=64)
+def _log_sparse_mask(l_q: int, l_k: int, sub_len: int) -> np.ndarray:
+    """Cached O(L^2) LogTrans mask; True marks disallowed positions.
+
+    Rebuilding this Python-looped mask on every forward dominated
+    LogSparseAttention's runtime; the geometry only depends on
+    ``(l_q, l_k, sub_len)`` so it is built once and frozen.
+    """
+    allowed = np.zeros((l_q, l_k), dtype=bool)
+    for i in range(l_q):
+        allowed[i, max(0, i - sub_len + 1) : i + 1] = True  # local window
+        step = 1
+        while i - step >= 0:
+            allowed[i, i - step] = True
+            step *= 2
+    mask = ~allowed
+    mask.setflags(write=False)  # shared across instances — keep it immutable
+    return mask
+
+
 class LogSparseAttention(AttentionMechanism):
     """LogTrans: each point attends to itself and exponentially-spaced
     previous points (1, 2, 4, ... steps back), plus ``sub_len`` immediate
@@ -190,15 +228,8 @@ class LogSparseAttention(AttentionMechanism):
         self.inner = FullAttention(dropout=0.0)
 
     def log_mask(self, l_q: int, l_k: int) -> np.ndarray:
-        """True marks disallowed positions."""
-        allowed = np.zeros((l_q, l_k), dtype=bool)
-        for i in range(l_q):
-            allowed[i, max(0, i - self.sub_len + 1) : i + 1] = True  # local window
-            step = 1
-            while i - step >= 0:
-                allowed[i, i - step] = True
-                step *= 2
-        return ~allowed
+        """True marks disallowed positions (cached per (l_q, l_k, sub_len))."""
+        return _log_sparse_mask(l_q, l_k, self.sub_len)
 
     def forward(self, q: Tensor, k: Tensor, v: Tensor, mask: Optional[np.ndarray] = None) -> Tensor:
         block = self.log_mask(q.shape[-2], k.shape[-2])
@@ -241,13 +272,13 @@ class ProbSparseAttention(AttentionMechanism):
         q_top = q[b_idx, h_idx, top]  # (B, H, u, d)
 
         scores = (q_top @ k.swapaxes(-1, -2)) / math.sqrt(d_head)  # (B, H, u, L_k)
+        blocked: Optional[np.ndarray] = None
         if self.causal and l_q == l_k:
-            future = np.arange(l_k)[None, None, None, :] > top[..., None]
-            scores = F.where(future, Tensor(np.full(scores.shape, _NEG_INF)), scores)
+            blocked = np.arange(l_k)[None, None, None, :] > top[..., None]
         if mask is not None:
             gathered = np.broadcast_to(mask, (batch, heads, l_q, l_k))[b_idx, h_idx, top]
-            scores = F.where(gathered, Tensor(np.full(scores.shape, _NEG_INF)), scores)
-        weights = self.dropout(F.softmax(scores, axis=-1))
+            blocked = gathered if blocked is None else (blocked | gathered)
+        weights = self.dropout(F.softmax_masked(scores, blocked, axis=-1))
         attended = weights @ v  # (B, H, u, d)
 
         # --- lazy queries output the (cumulative) mean of V ---
@@ -259,10 +290,9 @@ class ProbSparseAttention(AttentionMechanism):
             baseline = v.mean(axis=2, keepdims=True).broadcast_to((batch, heads, l_q, d_head))
 
         # scatter attended rows over the baseline with a constant one-hot mix
+        # (advanced indexing over (B, H, u) — no Python-level batch/head loops)
         onehot = np.zeros((batch, heads, l_q, u_queries))
-        for b in range(batch):
-            for h in range(heads):
-                onehot[b, h, top[b, h], np.arange(u_queries)] = 1.0
+        onehot[b_idx, h_idx, top, np.arange(u_queries)] = 1.0
         selected_rows = onehot.sum(axis=-1, keepdims=True)  # (B, H, L_q, 1), 0/1
         scattered = Tensor(onehot) @ attended  # (B, H, L_q, d)
         return scattered + baseline * Tensor(1.0 - selected_rows)

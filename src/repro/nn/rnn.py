@@ -35,6 +35,18 @@ class GRUCell(Module):
         hidden = self.hidden_size
         h = h0 if h0 is not None else Tensor(np.zeros((batch, hidden)))
         x_proj = x @ self.weight_ih + self.bias_ih  # (B, L, 3H)
+        if F.fused_ops_enabled():
+            # whole scan = one tape node with a hand-written BPTT backward
+            outputs = F.gru_sequence(x_proj, h, self.weight_hh, self.bias_hh)
+            return outputs, outputs[:, length - 1, :]
+        return self._forward_unfused(x_proj, h, length, hidden)
+
+    def _forward_unfused(self, x_proj: Tensor, h: Tensor, length: int, hidden: int) -> Tuple[Tensor, Tensor]:
+        """Original op-by-op scan (~12 tape nodes per timestep).
+
+        Kept as the numerical reference and as the baseline that
+        ``python -m repro.perf`` measures the fused kernels against.
+        """
         outputs: List[Tensor] = []
         for t in range(length):
             gates_x = x_proj[:, t, :]
@@ -47,6 +59,11 @@ class GRUCell(Module):
             h = (1.0 - update) * candidate + update * h
             outputs.append(h)
         return F.stack(outputs, axis=1), h
+
+    def step(self, x_t: Tensor, h: Tensor) -> Tensor:
+        """Advance one timestep (B, C) -> (B, H) via the fused kernel."""
+        x_gates = x_t @ self.weight_ih + self.bias_ih
+        return F.gru_step(x_gates, h, self.weight_hh, self.bias_hh)
 
 
 class GRU(Module):
@@ -100,6 +117,18 @@ class LSTMCell(Module):
         else:
             h, c = state
         x_proj = x @ self.weight_ih + self.bias_ih
+        if F.fused_ops_enabled():
+            hc = F.lstm_sequence(x_proj, h, c, self.weight_hh, self.bias_hh)  # (B, L, 2H)
+            outputs = hc[:, :, :hidden]
+            h_final = hc[:, length - 1, :hidden]
+            c_final = hc[:, length - 1, hidden:]
+            return outputs, (h_final, c_final)
+        return self._forward_unfused(x_proj, h, c, length, hidden)
+
+    def _forward_unfused(
+        self, x_proj: Tensor, h: Tensor, c: Tensor, length: int, hidden: int
+    ) -> Tuple[Tensor, Tuple[Tensor, Tensor]]:
+        """Original op-by-op scan (benchmark baseline / numerical reference)."""
         outputs: List[Tensor] = []
         for t in range(length):
             gates = x_proj[:, t, :] + h @ self.weight_hh + self.bias_hh
@@ -111,6 +140,13 @@ class LSTMCell(Module):
             h = o * F.tanh(c)
             outputs.append(h)
         return F.stack(outputs, axis=1), (h, c)
+
+    def step(self, x_t: Tensor, h: Tensor, c: Tensor) -> Tuple[Tensor, Tensor]:
+        """Advance one timestep; returns (h_new, c_new) via the fused kernel."""
+        hidden = self.hidden_size
+        x_gates = x_t @ self.weight_ih + self.bias_ih
+        hc = F.lstm_step(x_gates, h, c, self.weight_hh, self.bias_hh)
+        return hc[:, :hidden], hc[:, hidden:]
 
 
 class LSTM(Module):

@@ -18,5 +18,7 @@ def clip_grad_norm(params: Iterable[Parameter], max_norm: float) -> float:
     if total > max_norm and total > 0:
         scale = max_norm / total
         for p in params:
-            p.grad *= scale
+            # never scale in place: the engine may share gradient buffers
+            # between tensors until a parameter owns its accumulation buffer
+            p.grad = p.grad * scale
     return total

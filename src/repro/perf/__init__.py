@@ -1,0 +1,146 @@
+"""Op-level profiling for the autodiff engine.
+
+Three tools, all zero-overhead when inactive:
+
+- :func:`profile` / :class:`OpProfiler` — installs engine hooks that count
+  tape nodes per op as they are recorded and time each op's backward
+  closure during ``Tensor.backward()``.
+- :class:`StageTimer` — nestable named wall-clock sections for coarse
+  phase timing (forward / backward / optimizer ...).
+- :mod:`repro.perf.bench` — the canonical Conformer training-step
+  benchmark behind ``python -m repro.perf`` and ``BENCH_autodiff.json``.
+
+Example::
+
+    from repro import perf
+
+    with perf.profile() as prof:
+        loss = model.compute_loss(model(x_enc, x_mark, x_dec, y_mark), y)
+        loss.backward()
+    print(prof.summary())
+"""
+
+from __future__ import annotations
+
+import contextlib
+from collections import Counter, defaultdict
+from time import perf_counter
+from typing import Callable, Dict, Iterator, List, Optional, Tuple
+
+from repro.tensor import tensor as _tensor_mod
+from repro.tensor.tensor import Tensor
+
+__all__ = ["OpProfiler", "StageTimer", "profile", "tape_nodes"]
+
+
+class OpProfiler:
+    """Per-op tape-node counts and backward wall time.
+
+    Populated by the engine hooks while active inside :func:`profile`.
+    ``tape_counts[op]`` is the number of tape nodes recorded per op name;
+    ``backward_seconds[op]`` the cumulative time spent in that op's
+    backward closures.
+    """
+
+    def __init__(self) -> None:
+        self.tape_counts: Counter = Counter()
+        self.backward_seconds: Dict[str, float] = defaultdict(float)
+        self.backward_calls: Counter = Counter()
+
+    # engine hook targets ------------------------------------------------
+    def _on_tape(self, op: str) -> None:
+        self.tape_counts[op] += 1
+
+    def _on_backward(self, op: str, seconds: float) -> None:
+        self.backward_seconds[op] += seconds
+        self.backward_calls[op] += 1
+
+    # reporting ----------------------------------------------------------
+    @property
+    def total_nodes(self) -> int:
+        """Total tape nodes recorded while the profiler was active."""
+        return sum(self.tape_counts.values())
+
+    @property
+    def total_backward_seconds(self) -> float:
+        return sum(self.backward_seconds.values())
+
+    def top_ops(self, n: int = 10) -> List[Tuple[str, int, float]]:
+        """``(op, tape_nodes, backward_seconds)`` sorted by backward time."""
+        ops = set(self.tape_counts) | set(self.backward_seconds)
+        rows = [(op, self.tape_counts[op], self.backward_seconds.get(op, 0.0)) for op in ops]
+        rows.sort(key=lambda r: (-r[2], -r[1]))
+        return rows[:n]
+
+    def as_dict(self) -> dict:
+        return {
+            "total_tape_nodes": self.total_nodes,
+            "total_backward_seconds": self.total_backward_seconds,
+            "per_op": {
+                op: {
+                    "tape_nodes": self.tape_counts[op],
+                    "backward_seconds": self.backward_seconds.get(op, 0.0),
+                    "backward_calls": self.backward_calls.get(op, 0),
+                }
+                for op in sorted(set(self.tape_counts) | set(self.backward_seconds))
+            },
+        }
+
+    def summary(self, n: int = 15) -> str:
+        """Fixed-width table of the heaviest ops."""
+        lines = [
+            f"{'op':<18} {'nodes':>8} {'backward s':>12}",
+            "-" * 40,
+        ]
+        for op, count, seconds in self.top_ops(n):
+            lines.append(f"{op:<18} {count:>8d} {seconds:>12.6f}")
+        lines.append("-" * 40)
+        lines.append(f"{'total':<18} {self.total_nodes:>8d} {self.total_backward_seconds:>12.6f}")
+        return "\n".join(lines)
+
+
+@contextlib.contextmanager
+def profile() -> Iterator[OpProfiler]:
+    """Activate engine-level op profiling for the enclosed block."""
+    prof = OpProfiler()
+    previous = (_tensor_mod._TAPE_HOOK, _tensor_mod._BACKWARD_HOOK)
+    _tensor_mod.set_profile_hooks(prof._on_tape, prof._on_backward)
+    try:
+        yield prof
+    finally:
+        _tensor_mod.set_profile_hooks(*previous)
+
+
+def tape_nodes(fn: Callable[[], Optional[Tensor]]) -> int:
+    """Count the tape nodes recorded while running ``fn()``."""
+    with profile() as prof:
+        fn()
+    return prof.total_nodes
+
+
+class StageTimer:
+    """Named wall-clock sections: ``with timer.section("forward"): ...``."""
+
+    def __init__(self) -> None:
+        self.seconds: Dict[str, float] = defaultdict(float)
+        self.calls: Counter = Counter()
+
+    @contextlib.contextmanager
+    def section(self, name: str) -> Iterator[None]:
+        start = perf_counter()
+        try:
+            yield
+        finally:
+            self.seconds[name] += perf_counter() - start
+            self.calls[name] += 1
+
+    def as_dict(self) -> dict:
+        return {
+            name: {"seconds": self.seconds[name], "calls": self.calls[name]} for name in self.seconds
+        }
+
+    def summary(self) -> str:
+        lines = [f"{'section':<20} {'calls':>6} {'seconds':>12}", "-" * 40]
+        for name in sorted(self.seconds, key=lambda s: -self.seconds[s]):
+            lines.append(f"{name:<20} {self.calls[name]:>6d} {self.seconds[name]:>12.6f}")
+        return "\n".join(lines)

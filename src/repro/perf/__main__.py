@@ -1,0 +1,48 @@
+"""``python -m repro.perf`` — run the canonical autodiff benchmark.
+
+Times the GRU-heavy Conformer training step with fused kernels on and
+off, prints a summary, and (by default) writes ``BENCH_autodiff.json``
+in the current directory so the perf trajectory accumulates across PRs.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.perf.bench import BENCH_FILENAME, format_result, run_autodiff_benchmark, write_bench_json
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(prog="python -m repro.perf", description=__doc__)
+    parser.add_argument("--repeats", type=int, default=5, help="timed steps per arm (default 5)")
+    parser.add_argument("--warmup", type=int, default=1, help="untimed warmup steps (default 1)")
+    parser.add_argument(
+        "--fused-only", action="store_true", help="skip the unfused baseline (no speedup figure)"
+    )
+    parser.add_argument(
+        "--json",
+        type=Path,
+        default=Path(BENCH_FILENAME),
+        help=f"output path for the benchmark artifact (default ./{BENCH_FILENAME})",
+    )
+    parser.add_argument("--no-json", action="store_true", help="print only, do not write the artifact")
+    args = parser.parse_args(argv)
+    if args.repeats < 1:
+        parser.error("--repeats must be >= 1")
+    if args.warmup < 0:
+        parser.error("--warmup must be >= 0")
+
+    result = run_autodiff_benchmark(
+        repeats=args.repeats, warmup=args.warmup, include_unfused=not args.fused_only
+    )
+    print(format_result(result))
+    if not args.no_json:
+        path = write_bench_json(result, args.json)
+        print(f"[saved to {path}]")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

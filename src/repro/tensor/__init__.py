@@ -6,7 +6,18 @@ reproduction: a :class:`Tensor` wrapping a numpy array, a tape-based
 zoo needs (matmul, softmax, convolution, FFT-based correlation, ...).
 """
 
-from repro.tensor.tensor import Tensor, no_grad, is_grad_enabled
+from repro.tensor.tensor import Tensor, no_grad, is_grad_enabled, set_profile_hooks
 from repro.tensor import functional
+from repro.tensor.functional import fused_ops, fused_ops_enabled
+from repro.tensor.gradcheck import gradcheck
 
-__all__ = ["Tensor", "no_grad", "is_grad_enabled", "functional"]
+__all__ = [
+    "Tensor",
+    "no_grad",
+    "is_grad_enabled",
+    "functional",
+    "fused_ops",
+    "fused_ops_enabled",
+    "gradcheck",
+    "set_profile_hooks",
+]

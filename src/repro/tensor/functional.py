@@ -7,6 +7,7 @@ convolution/pooling, and losses.  Each op wires its own backward closure.
 
 from __future__ import annotations
 
+import contextlib
 import math
 from typing import Optional, Sequence, Tuple, Union
 
@@ -16,6 +17,32 @@ from scipy import special as sp_special
 from repro.tensor.tensor import Tensor, ensure_tensor
 
 Axis = Union[None, int, Tuple[int, ...]]
+
+# ----------------------------------------------------------------------
+# fused-kernel switch
+# ----------------------------------------------------------------------
+# The recurrent/attention hot paths dispatch on this flag: True routes
+# through the fused ops below (one tape node for whole subgraphs), False
+# falls back to the original op-by-op composition.  The fallback is kept
+# both as a numerical reference and as the baseline the perf benchmark
+# (`python -m repro.perf`) measures speedups against.
+_FUSED_ENABLED = True
+
+
+def fused_ops_enabled() -> bool:
+    """Whether the model zoo routes hot paths through the fused kernels."""
+    return _FUSED_ENABLED
+
+
+@contextlib.contextmanager
+def fused_ops(enabled: bool = True):
+    """Context manager toggling the fused-kernel dispatch (for benchmarks/tests)."""
+    global _FUSED_ENABLED
+    previous, _FUSED_ENABLED = _FUSED_ENABLED, bool(enabled)
+    try:
+        yield
+    finally:
+        _FUSED_ENABLED = previous
 
 
 # ----------------------------------------------------------------------
@@ -281,6 +308,315 @@ def log_softmax(x: Tensor, axis: int = -1) -> Tensor:
             x._accumulate(grad - soft * grad.sum(axis=axis, keepdims=True))
 
     return Tensor._make(out_data, (x,), "log_softmax", backward)
+
+
+def softmax_masked(x: Tensor, mask: Optional[np.ndarray] = None, axis: int = -1) -> Tensor:
+    """Fused mask + softmax: one tape node, no full ``-1e9`` constant tensor.
+
+    ``mask`` is a boolean array broadcastable to ``x`` where True marks
+    *disallowed* positions; those entries receive exactly zero weight and
+    zero gradient.  Rows where everything is masked yield a uniform
+    distribution with zero gradient, matching the behaviour of masking
+    scores with a large negative constant and then calling :func:`softmax`
+    (the previous, three-node composition).
+    """
+    if mask is None:
+        return softmax(x, axis=axis)
+    mask = np.asarray(mask, dtype=bool)
+    # -inf at masked entries keeps the max-shift stable and makes exp() give
+    # exact zeros without overflow; the temp is short-lived and never taped.
+    neg = np.where(mask, -np.inf, x.data)
+    shift = neg.max(axis=axis, keepdims=True)
+    shift = np.where(np.isfinite(shift), shift, 0.0)  # all-masked rows
+    exps = np.exp(neg - shift)
+    denom = exps.sum(axis=axis, keepdims=True)
+    dead = denom == 0.0
+    soft = exps / np.where(dead, 1.0, denom)
+    out_data = np.where(dead, 1.0 / x.data.shape[axis], soft) if np.any(dead) else soft
+
+    def backward(grad: np.ndarray) -> None:
+        if x.requires_grad:
+            inner = (grad * soft).sum(axis=axis, keepdims=True)
+            x._accumulate(soft * (grad - inner))
+
+    return Tensor._make(out_data, (x,), "softmax_masked", backward)
+
+
+# ----------------------------------------------------------------------
+# einsum
+# ----------------------------------------------------------------------
+def _einsum_parse(subscripts: str, n_operands: int) -> Tuple[list, str]:
+    if "..." in subscripts:
+        raise NotImplementedError("einsum: ellipsis subscripts are not supported")
+    if "->" in subscripts:
+        inputs, output = subscripts.split("->")
+    else:
+        inputs = subscripts
+        counts: dict = {}
+        for ch in inputs.replace(",", ""):
+            counts[ch] = counts.get(ch, 0) + 1
+        output = "".join(sorted(ch for ch, n in counts.items() if n == 1))
+    specs = inputs.split(",")
+    if len(specs) != n_operands:
+        raise ValueError(f"einsum: {len(specs)} subscript groups for {n_operands} operands")
+    for spec in specs:
+        if len(set(spec)) != len(spec):
+            raise NotImplementedError("einsum: repeated labels within one operand (traces) are not supported")
+    return specs, output
+
+
+def einsum(subscripts: str, *operands: Tensor, optimize=True) -> Tensor:
+    """Differentiable ``np.einsum`` (contracted matmuls as one tape node).
+
+    Supports any number of operands with explicit or implicit output
+    subscripts; ellipsis and per-operand repeated labels are not.  The
+    gradient of each operand is itself an einsum of the output gradient
+    with the remaining operands, with labels missing from those terms
+    restored by broadcasting against ones.
+    """
+    tensors = [ensure_tensor(t) for t in operands]
+    specs, out_spec = _einsum_parse(subscripts, len(tensors))
+    out_data = np.einsum(f"{','.join(specs)}->{out_spec}", *[t.data for t in tensors], optimize=optimize)
+
+    def backward(grad: np.ndarray) -> None:
+        for i, t in enumerate(tensors):
+            if not t.requires_grad:
+                continue
+            terms_specs = [out_spec] + [specs[j] for j in range(len(tensors)) if j != i]
+            terms_data = [grad] + [tensors[j].data for j in range(len(tensors)) if j != i]
+            available = set("".join(terms_specs))
+            for pos, label in enumerate(specs[i]):
+                if label not in available:  # summed over this operand alone
+                    terms_specs.append(label)
+                    terms_data.append(np.ones(t.data.shape[pos], dtype=grad.dtype))
+            sub = ",".join(terms_specs) + "->" + specs[i]
+            t._accumulate(np.einsum(sub, *terms_data, optimize=optimize))
+
+    return Tensor._make(np.asarray(out_data), tuple(tensors), "einsum", backward)
+
+
+# ----------------------------------------------------------------------
+# fused recurrent kernels
+# ----------------------------------------------------------------------
+# One tape node per GRU/LSTM timestep (``*_step``) or per whole scan
+# (``*_sequence``) with hand-written backwards, replacing the ~12-node
+# per-timestep chains previously recorded by GRUCell/LSTMCell.  Gate
+# layout follows the cells: [reset | update | candidate] for GRU and
+# [input | forget | cell | output] for LSTM.
+def gru_step(x_gates: Tensor, h: Tensor, weight_hh: Tensor, bias_hh: Tensor) -> Tensor:
+    """One fused GRU timestep.
+
+    ``x_gates`` is the precomputed input projection ``x_t @ W_ih + b_ih``
+    of shape (B, 3H); ``h`` is the previous hidden state (B, H).  Returns
+    the next hidden state (B, H) as a single tape node.
+    """
+    hidden = h.shape[-1]
+    gh = h.data @ weight_hh.data + bias_hh.data
+    gx = x_gates.data
+    r = sp_special.expit(gx[:, :hidden] + gh[:, :hidden])
+    z = sp_special.expit(gx[:, hidden : 2 * hidden] + gh[:, hidden : 2 * hidden])
+    nh = gh[:, 2 * hidden :]
+    n = np.tanh(gx[:, 2 * hidden :] + r * nh)
+    out_data = (1.0 - z) * n + z * h.data
+
+    def backward(grad: np.ndarray) -> None:
+        dn = grad * (1.0 - z)
+        dz = grad * (h.data - n)
+        dpre_n = dn * (1.0 - n * n)
+        dnh = dpre_n * r
+        dpre_r = dpre_n * nh * r * (1.0 - r)
+        dpre_z = dz * z * (1.0 - z)
+        dgh = np.concatenate([dpre_r, dpre_z, dnh], axis=-1)
+        if x_gates.requires_grad:
+            x_gates._accumulate(np.concatenate([dpre_r, dpre_z, dpre_n], axis=-1))
+        if h.requires_grad:
+            h._accumulate(grad * z + dgh @ weight_hh.data.T)
+        if weight_hh.requires_grad:
+            weight_hh._accumulate(h.data.T @ dgh)
+        if bias_hh.requires_grad:
+            bias_hh._accumulate(dgh.sum(axis=0))
+
+    return Tensor._make(out_data, (x_gates, h, weight_hh, bias_hh), "gru_step", backward)
+
+
+def lstm_step(x_gates: Tensor, h: Tensor, c: Tensor, weight_hh: Tensor, bias_hh: Tensor) -> Tensor:
+    """One fused LSTM timestep.
+
+    ``x_gates`` is ``x_t @ W_ih + b_ih`` of shape (B, 4H); ``h``/``c`` are
+    the previous states (B, H).  Returns (B, 2H) with the new hidden state
+    in ``[..., :H]`` and the new cell state in ``[..., H:]`` so the whole
+    step stays a single tape node.
+    """
+    hidden = h.shape[-1]
+    gates = x_gates.data + h.data @ weight_hh.data + bias_hh.data
+    i = sp_special.expit(gates[:, :hidden])
+    f = sp_special.expit(gates[:, hidden : 2 * hidden])
+    g = np.tanh(gates[:, 2 * hidden : 3 * hidden])
+    o = sp_special.expit(gates[:, 3 * hidden :])
+    c_new = f * c.data + i * g
+    tc = np.tanh(c_new)
+    out_data = np.concatenate([o * tc, c_new], axis=-1)
+
+    def backward(grad: np.ndarray) -> None:
+        dh = grad[:, :hidden]
+        dc_new = dh * o * (1.0 - tc * tc) + grad[:, hidden:]
+        do = dh * tc
+        dgates = np.concatenate(
+            [
+                dc_new * g * i * (1.0 - i),
+                dc_new * c.data * f * (1.0 - f),
+                dc_new * i * (1.0 - g * g),
+                do * o * (1.0 - o),
+            ],
+            axis=-1,
+        )
+        if x_gates.requires_grad:
+            x_gates._accumulate(dgates)
+        if h.requires_grad:
+            h._accumulate(dgates @ weight_hh.data.T)
+        if c.requires_grad:
+            c._accumulate(dc_new * f)
+        if weight_hh.requires_grad:
+            weight_hh._accumulate(h.data.T @ dgates)
+        if bias_hh.requires_grad:
+            bias_hh._accumulate(dgates.sum(axis=0))
+
+    return Tensor._make(out_data, (x_gates, h, c, weight_hh, bias_hh), "lstm_step", backward)
+
+
+def gru_sequence(x_proj: Tensor, h0: Tensor, weight_hh: Tensor, bias_hh: Tensor) -> Tensor:
+    """Scan a whole GRU layer as ONE tape node.
+
+    ``x_proj`` is the input projection for every timestep, (B, L, 3H);
+    ``h0`` the initial hidden state (B, H).  Returns all hidden states
+    (B, L, H), written into a preallocated buffer.  The backward is a
+    hand-written truncated-free BPTT over saved gate activations.
+    """
+    batch, length, three_h = x_proj.shape
+    hidden = three_h // 3
+    w_hh = weight_hh.data
+    b_hh = bias_hh.data
+    xp = x_proj.data
+    out = np.empty((batch, length, hidden), dtype=xp.dtype)
+    # saved activations for backward: reset/update/candidate gates, the
+    # recurrent candidate pre-activation, and every hidden state
+    r_all = np.empty((length, batch, hidden), dtype=xp.dtype)
+    z_all = np.empty_like(r_all)
+    n_all = np.empty_like(r_all)
+    nh_all = np.empty_like(r_all)
+    h_all = np.empty((length + 1, batch, hidden), dtype=xp.dtype)
+    h = h_all[0]
+    h[...] = h0.data
+    for t in range(length):
+        gh = h @ w_hh + b_hh
+        gx = xp[:, t]
+        r = sp_special.expit(gx[:, :hidden] + gh[:, :hidden])
+        z = sp_special.expit(gx[:, hidden : 2 * hidden] + gh[:, hidden : 2 * hidden])
+        nh = gh[:, 2 * hidden :]
+        n = np.tanh(gx[:, 2 * hidden :] + r * nh)
+        h = (1.0 - z) * n + z * h
+        r_all[t], z_all[t], n_all[t], nh_all[t], h_all[t + 1] = r, z, n, nh, h
+        out[:, t] = h
+
+    def backward(grad: np.ndarray) -> None:
+        w_hh_t = w_hh.T
+        dgh_all = np.empty((length, batch, 3 * hidden), dtype=grad.dtype)
+        dxp = np.empty_like(xp) if x_proj.requires_grad else None
+        dh_next = np.zeros((batch, hidden), dtype=grad.dtype)
+        for t in range(length - 1, -1, -1):
+            dh = grad[:, t] + dh_next
+            r, z, n, nh, h_prev = r_all[t], z_all[t], n_all[t], nh_all[t], h_all[t]
+            dpre_n = dh * (1.0 - z) * (1.0 - n * n)
+            dgh = dgh_all[t]
+            dgh[:, :hidden] = dpre_n * nh * r * (1.0 - r)
+            dgh[:, hidden : 2 * hidden] = dh * (h_prev - n) * z * (1.0 - z)
+            dgh[:, 2 * hidden :] = dpre_n * r
+            if dxp is not None:
+                dxp_t = dxp[:, t]
+                dxp_t[:, : 2 * hidden] = dgh[:, : 2 * hidden]
+                dxp_t[:, 2 * hidden :] = dpre_n
+            dh_next = dh * z + dgh @ w_hh_t
+        if dxp is not None:
+            x_proj._accumulate(dxp)
+        if h0.requires_grad:
+            h0._accumulate(dh_next)
+        if weight_hh.requires_grad:
+            weight_hh._accumulate(
+                np.einsum("tbh,tbk->hk", h_all[:length], dgh_all, optimize=True)
+            )
+        if bias_hh.requires_grad:
+            bias_hh._accumulate(dgh_all.sum(axis=(0, 1)))
+
+    return Tensor._make(out, (x_proj, h0, weight_hh, bias_hh), "gru_sequence", backward)
+
+
+def lstm_sequence(x_proj: Tensor, h0: Tensor, c0: Tensor, weight_hh: Tensor, bias_hh: Tensor) -> Tensor:
+    """Scan a whole LSTM layer as ONE tape node.
+
+    ``x_proj`` is (B, L, 4H); returns (B, L, 2H) with hidden states in
+    ``[..., :H]`` and cell states in ``[..., H:]`` (both needed so the
+    final ``(h, c)`` tuple stays differentiable).
+    """
+    batch, length, four_h = x_proj.shape
+    hidden = four_h // 4
+    w_hh = weight_hh.data
+    b_hh = bias_hh.data
+    xp = x_proj.data
+    out = np.empty((batch, length, 2 * hidden), dtype=xp.dtype)
+    i_all = np.empty((length, batch, hidden), dtype=xp.dtype)
+    f_all = np.empty_like(i_all)
+    g_all = np.empty_like(i_all)
+    o_all = np.empty_like(i_all)
+    tc_all = np.empty_like(i_all)
+    h_all = np.empty((length + 1, batch, hidden), dtype=xp.dtype)
+    c_all = np.empty((length + 1, batch, hidden), dtype=xp.dtype)
+    h_all[0] = h0.data
+    c_all[0] = c0.data
+    h, c = h_all[0], c_all[0]
+    for t in range(length):
+        gates = xp[:, t] + h @ w_hh + b_hh
+        i = sp_special.expit(gates[:, :hidden])
+        f = sp_special.expit(gates[:, hidden : 2 * hidden])
+        g = np.tanh(gates[:, 2 * hidden : 3 * hidden])
+        o = sp_special.expit(gates[:, 3 * hidden :])
+        c = f * c + i * g
+        tc = np.tanh(c)
+        h = o * tc
+        i_all[t], f_all[t], g_all[t], o_all[t], tc_all[t] = i, f, g, o, tc
+        h_all[t + 1], c_all[t + 1] = h, c
+        out[:, t, :hidden] = h
+        out[:, t, hidden:] = c
+
+    def backward(grad: np.ndarray) -> None:
+        w_hh_t = w_hh.T
+        dgates_all = np.empty((length, batch, 4 * hidden), dtype=grad.dtype)
+        dh_next = np.zeros((batch, hidden), dtype=grad.dtype)
+        dc_next = np.zeros((batch, hidden), dtype=grad.dtype)
+        for t in range(length - 1, -1, -1):
+            i, f, g, o, tc = i_all[t], f_all[t], g_all[t], o_all[t], tc_all[t]
+            dh = grad[:, t, :hidden] + dh_next
+            dc_new = dh * o * (1.0 - tc * tc) + grad[:, t, hidden:] + dc_next
+            dgates = dgates_all[t]
+            dgates[:, :hidden] = dc_new * g * i * (1.0 - i)
+            dgates[:, hidden : 2 * hidden] = dc_new * c_all[t] * f * (1.0 - f)
+            dgates[:, 2 * hidden : 3 * hidden] = dc_new * i * (1.0 - g * g)
+            dgates[:, 3 * hidden :] = dh * tc * o * (1.0 - o)
+            dc_next = dc_new * f
+            dh_next = dgates @ w_hh_t
+        if x_proj.requires_grad:
+            x_proj._accumulate(np.ascontiguousarray(dgates_all.transpose(1, 0, 2)))
+        if h0.requires_grad:
+            h0._accumulate(dh_next)
+        if c0.requires_grad:
+            c0._accumulate(dc_next)
+        if weight_hh.requires_grad:
+            weight_hh._accumulate(
+                np.einsum("tbh,tbk->hk", h_all[:length], dgates_all, optimize=True)
+            )
+        if bias_hh.requires_grad:
+            bias_hh._accumulate(dgates_all.sum(axis=(0, 1)))
+
+    return Tensor._make(out, (x_proj, h0, c0, weight_hh, bias_hh), "lstm_sequence", backward)
 
 
 # ----------------------------------------------------------------------

@@ -10,6 +10,7 @@ summed over the broadcast axes (see :func:`unbroadcast`).
 from __future__ import annotations
 
 import contextlib
+from time import perf_counter
 from typing import Callable, Iterable, Optional, Sequence, Tuple, Union
 
 import numpy as np
@@ -17,6 +18,22 @@ import numpy as np
 Arrayable = Union["Tensor", np.ndarray, float, int, list, tuple]
 
 _GRAD_ENABLED = True
+
+# Profiling hooks (installed by repro.perf; None = zero-overhead fast path).
+# _TAPE_HOOK is called with the op name every time a tape node is recorded;
+# _BACKWARD_HOOK is called with (op name, seconds) after each node's backward.
+_TAPE_HOOK: Optional[Callable[[str], None]] = None
+_BACKWARD_HOOK: Optional[Callable[[str, float], None]] = None
+
+
+def set_profile_hooks(
+    tape_hook: Optional[Callable[[str], None]] = None,
+    backward_hook: Optional[Callable[[str, float], None]] = None,
+) -> None:
+    """Install (or clear, with None) the engine-level profiling hooks."""
+    global _TAPE_HOOK, _BACKWARD_HOOK
+    _TAPE_HOOK = tape_hook
+    _BACKWARD_HOOK = backward_hook
 
 
 def is_grad_enabled() -> bool:
@@ -78,7 +95,7 @@ class Tensor:
         Whether gradients should accumulate in ``self.grad``.
     """
 
-    __slots__ = ("data", "requires_grad", "grad", "_backward", "_parents", "_op")
+    __slots__ = ("data", "requires_grad", "grad", "_backward", "_parents", "_op", "_grad_owned")
     __array_priority__ = 100  # ensure ndarray + Tensor defers to Tensor
 
     def __init__(
@@ -91,6 +108,7 @@ class Tensor:
         self.data = _as_array(data)
         self.requires_grad = bool(requires_grad) and _GRAD_ENABLED
         self.grad: Optional[np.ndarray] = None
+        self._grad_owned = False
         self._backward: Optional[Callable[[np.ndarray], None]] = None
         self._parents = _parents if _GRAD_ENABLED else ()
         self._op = _op
@@ -141,6 +159,7 @@ class Tensor:
 
     def zero_grad(self) -> None:
         self.grad = None
+        self._grad_owned = False
 
     # ------------------------------------------------------------------
     # autodiff machinery
@@ -160,14 +179,31 @@ class Tensor:
             out._parents = parents
             out._op = op
             out._backward = backward
+            if _TAPE_HOOK is not None:
+                _TAPE_HOOK(op)
         return out
 
     def _accumulate(self, grad: np.ndarray) -> None:
-        grad = unbroadcast(np.asarray(grad, dtype=self.data.dtype), self.data.shape)
+        """Accumulate ``grad`` into ``self.grad``.
+
+        The buffer is reused in place (``np.add(..., out=)``) once this
+        tensor owns it.  A freshly stored gradient is only *owned* when the
+        dtype cast or unbroadcast reduction produced a new array here —
+        otherwise the incoming array may be shared with another node (e.g.
+        the child's own ``grad`` forwarded through an add), so the first
+        re-accumulation allocates and every later one is in place.
+        """
+        incoming = np.asarray(grad)
+        g = incoming if incoming.dtype == self.data.dtype else incoming.astype(self.data.dtype)
+        g = unbroadcast(g, self.data.shape)
         if self.grad is None:
-            self.grad = grad.copy() if grad.base is not None else grad
+            self.grad = g
+            self._grad_owned = g is not incoming and g.base is None
+        elif self._grad_owned:
+            np.add(self.grad, g, out=self.grad)
         else:
-            self.grad = self.grad + grad
+            self.grad = self.grad + g
+            self._grad_owned = True
 
     def backward(self, grad: Optional[Arrayable] = None) -> None:
         """Backpropagate from this tensor through the recorded tape."""
@@ -181,6 +217,9 @@ class Tensor:
         if seed.shape != self.data.shape:
             seed = np.broadcast_to(seed, self.data.shape)
 
+        # Reverse-topological order over grad-requiring nodes only: a tensor
+        # with requires_grad=False cannot lead to a grad-requiring leaf, so
+        # whole constant subgraphs are never visited.
         topo: list[Tensor] = []
         visited: set[int] = set()
         stack: list[tuple[Tensor, bool]] = [(self, False)]
@@ -194,13 +233,19 @@ class Tensor:
             visited.add(id(node))
             stack.append((node, True))
             for parent in node._parents:
-                if id(parent) not in visited:
+                if parent.requires_grad and id(parent) not in visited:
                     stack.append((parent, False))
 
         self._accumulate(seed)
+        hook = _BACKWARD_HOOK
         for node in reversed(topo):
             if node._backward is not None and node.grad is not None:
-                node._backward(node.grad)
+                if hook is None:
+                    node._backward(node.grad)
+                else:
+                    start = perf_counter()
+                    node._backward(node.grad)
+                    hook(node._op, perf_counter() - start)
 
     # ------------------------------------------------------------------
     # arithmetic — implemented here, richer ops live in functional.py

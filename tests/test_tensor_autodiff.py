@@ -259,6 +259,173 @@ class TestLosses:
         check_gradients(lambda: F.huber_loss(pred, target, delta=0.7), [pred])
 
 
+class TestEinsum:
+    def test_matmul_pattern(self):
+        a, b = randt(3, 4), randt(4, 5)
+        check_gradients(lambda: (F.einsum("ij,jk->ik", a, b) ** 2).sum(), [a, b])
+        np.testing.assert_allclose(F.einsum("ij,jk->ik", a, b).data, a.data @ b.data)
+
+    def test_attention_score_pattern(self):
+        q, k = randt(2, 2, 5, 3), randt(2, 2, 5, 4, 3)
+        check_gradients(lambda: (F.einsum("bhld,bhlwd->bhlw", q, k) ** 2).sum(), [q, k])
+
+    def test_attention_output_pattern(self):
+        w, v = randt(2, 2, 5, 4), randt(2, 2, 5, 4, 3)
+        check_gradients(lambda: (F.einsum("bhlw,bhlwd->bhld", w, v) ** 2).sum(), [w, v])
+
+    def test_free_summed_index(self):
+        # 'j' is summed over a alone: the backward must broadcast against ones
+        a = randt(3, 4)
+        check_gradients(lambda: (F.einsum("ij->i", a) ** 2).sum(), [a])
+
+    def test_implicit_output(self):
+        a, b = randt(3, 4), randt(4, 5)
+        np.testing.assert_allclose(F.einsum("ij,jk", a, b).data, np.einsum("ij,jk", a.data, b.data))
+        check_gradients(lambda: (F.einsum("ij,jk", a, b) ** 2).sum(), [a, b])
+
+    def test_three_operands(self):
+        a, b, c = randt(3, 4), randt(4, 5), randt(5, 2)
+        check_gradients(lambda: (F.einsum("ij,jk,kl->il", a, b, c) ** 2).sum(), [a, b, c])
+
+    def test_rejects_traces_and_ellipsis(self):
+        a = randt(3, 3)
+        with pytest.raises(NotImplementedError):
+            F.einsum("ii->i", a)
+        with pytest.raises(NotImplementedError):
+            F.einsum("...i->...", a)
+
+
+class TestSoftmaxMasked:
+    def test_none_mask_is_softmax(self):
+        a = randt(3, 5)
+        np.testing.assert_allclose(F.softmax_masked(a, None).data, F.softmax(a, axis=-1).data)
+
+    def test_masked_positions_get_zero_weight(self):
+        a = randt(4, 6)
+        mask = RNG.random((4, 6)) > 0.5
+        mask[:, 0] = False  # keep every row alive
+        out = F.softmax_masked(a, mask)
+        assert np.all(out.data[mask] == 0.0)
+        np.testing.assert_allclose(out.data.sum(axis=-1), 1.0, atol=1e-12)
+
+    def test_gradcheck_with_mask(self):
+        a = randt(3, 6)
+        mask = RNG.random((3, 6)) > 0.5
+        mask[:, 2] = False
+        w = Tensor(RNG.normal(size=(3, 6)))
+        check_gradients(lambda: (F.softmax_masked(a, mask) * w).sum(), [a])
+
+    def test_gradcheck_broadcast_mask(self):
+        # (L, w) mask broadcasting over (B, H, L, w) scores — the attention case
+        a = randt(2, 2, 4, 3)
+        mask = RNG.random((4, 3)) > 0.6
+        w = Tensor(RNG.normal(size=(2, 2, 4, 3)))
+        check_gradients(lambda: (F.softmax_masked(a, mask) * w).sum(), [a])
+
+    def test_matches_neg_inf_composition(self):
+        a = randt(2, 5, 7)
+        mask = RNG.random((5, 7)) > 0.5
+        mask[:, 0] = False
+        fused = F.softmax_masked(a, mask)
+        big_neg = Tensor(np.full(a.shape, -1e9))
+        reference = F.softmax(F.where(np.broadcast_to(mask, a.shape), big_neg, a), axis=-1)
+        np.testing.assert_allclose(fused.data, reference.data, atol=1e-9)
+
+    def test_all_masked_row_uniform_zero_grad(self):
+        a = randt(3, 4)
+        mask = np.zeros((3, 4), dtype=bool)
+        mask[1] = True  # row 1 fully masked
+        w = Tensor(RNG.normal(size=(3, 4)))
+        out = F.softmax_masked(a, mask)
+        np.testing.assert_allclose(out.data[1], 0.25)
+        (out * w).sum().backward()
+        np.testing.assert_allclose(a.grad[1], 0.0)
+        a.zero_grad()
+        check_gradients(lambda: (F.softmax_masked(a, mask) * w).sum(), [a])
+
+    def test_extreme_masked_values_stay_stable(self):
+        # huge masked scores must not poison the max-shift or overflow exp
+        data = np.array([[1.0, 2.0, 1000.0], [1000.0, 0.5, -0.5]])
+        mask = np.array([[False, False, True], [True, False, False]])
+        out = F.softmax_masked(Tensor(data), mask)
+        assert np.all(np.isfinite(out.data))
+        assert np.all(out.data[mask] == 0.0)
+
+
+class TestFusedRecurrent:
+    HIDDEN = 4
+    BATCH = 3
+
+    def _gru_params(self):
+        return (
+            randt(self.BATCH, 3 * self.HIDDEN),
+            randt(self.BATCH, self.HIDDEN),
+            randt(self.HIDDEN, 3 * self.HIDDEN, scale=0.5),
+            randt(3 * self.HIDDEN, scale=0.3),
+        )
+
+    def test_gru_step_gradcheck(self):
+        xg, h, whh, bhh = self._gru_params()
+        check_gradients(lambda: (F.gru_step(xg, h, whh, bhh) ** 2).sum(), [xg, h, whh, bhh])
+
+    def test_gru_step_is_single_tape_node(self):
+        xg, h, whh, bhh = self._gru_params()
+        out = F.gru_step(xg, h, whh, bhh)
+        assert out._op == "gru_step"
+        assert out._parents == (xg, h, whh, bhh)
+
+    def test_lstm_step_gradcheck(self):
+        xg = randt(self.BATCH, 4 * self.HIDDEN)
+        h, c = randt(self.BATCH, self.HIDDEN), randt(self.BATCH, self.HIDDEN)
+        whh = randt(self.HIDDEN, 4 * self.HIDDEN, scale=0.5)
+        bhh = randt(4 * self.HIDDEN, scale=0.3)
+        check_gradients(lambda: (F.lstm_step(xg, h, c, whh, bhh) ** 2).sum(), [xg, h, c, whh, bhh])
+
+    def test_gru_sequence_gradcheck(self):
+        length = 5
+        xp = randt(self.BATCH, length, 3 * self.HIDDEN)
+        h0 = randt(self.BATCH, self.HIDDEN)
+        whh = randt(self.HIDDEN, 3 * self.HIDDEN, scale=0.5)
+        bhh = randt(3 * self.HIDDEN, scale=0.3)
+        check_gradients(lambda: (F.gru_sequence(xp, h0, whh, bhh) ** 2).sum(), [xp, h0, whh, bhh])
+
+    def test_lstm_sequence_gradcheck(self):
+        length = 5
+        xp = randt(self.BATCH, length, 4 * self.HIDDEN)
+        h0, c0 = randt(self.BATCH, self.HIDDEN), randt(self.BATCH, self.HIDDEN)
+        whh = randt(self.HIDDEN, 4 * self.HIDDEN, scale=0.5)
+        bhh = randt(4 * self.HIDDEN, scale=0.3)
+        check_gradients(
+            lambda: (F.lstm_sequence(xp, h0, c0, whh, bhh) ** 2).sum(), [xp, h0, c0, whh, bhh]
+        )
+
+    def test_gru_sequence_matches_unrolled_steps(self):
+        length = 4
+        xp = randt(self.BATCH, length, 3 * self.HIDDEN)
+        h0 = randt(self.BATCH, self.HIDDEN)
+        whh = randt(self.HIDDEN, 3 * self.HIDDEN, scale=0.5)
+        bhh = randt(3 * self.HIDDEN, scale=0.3)
+        seq = F.gru_sequence(xp, h0, whh, bhh)
+        h = h0
+        for t in range(length):
+            h = F.gru_step(xp[:, t, :], h, whh, bhh)
+            np.testing.assert_allclose(seq.data[:, t], h.data, atol=1e-12)
+
+    def test_lstm_sequence_matches_unrolled_steps(self):
+        length = 4
+        xp = randt(self.BATCH, length, 4 * self.HIDDEN)
+        h0, c0 = randt(self.BATCH, self.HIDDEN), randt(self.BATCH, self.HIDDEN)
+        whh = randt(self.HIDDEN, 4 * self.HIDDEN, scale=0.5)
+        bhh = randt(4 * self.HIDDEN, scale=0.3)
+        seq = F.lstm_sequence(xp, h0, c0, whh, bhh)
+        h, c = h0, c0
+        for t in range(length):
+            hc = F.lstm_step(xp[:, t, :], h, c, whh, bhh)
+            h, c = hc[:, : self.HIDDEN], hc[:, self.HIDDEN :]
+            np.testing.assert_allclose(seq.data[:, t, : self.HIDDEN], h.data, atol=1e-12)
+            np.testing.assert_allclose(seq.data[:, t, self.HIDDEN :], c.data, atol=1e-12)
+
+
 class TestAutodiffMechanics:
     def test_grad_accumulates_across_uses(self):
         a = Tensor(np.array([2.0]), requires_grad=True)
