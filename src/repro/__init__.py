@@ -18,6 +18,9 @@ The package layers:
   experiment runner, and the complexity/uncertainty probes.
 - :mod:`repro.perf` — op-level profiler, stage timers, and the canonical
   autodiff benchmark (``python -m repro.perf``).
+- :mod:`repro.obs` — structured run telemetry: tracing spans, metric
+  registry, JSONL event sinks, and training anomaly detection
+  (``python -m repro.cli obs report run.jsonl``).
 
 Quickstart::
 

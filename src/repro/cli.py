@@ -7,11 +7,14 @@ datasets
 models
     List the registered forecasters.
 run
-    Train and evaluate one (dataset, model, horizon) cell.
+    Train and evaluate one (dataset, model, horizon) cell
+    (``--log-jsonl run.jsonl`` records structured telemetry).
 efficiency
     Fig. 5-style attention time/memory comparison.
 sweep
     Fig. 4-style sensitivity sweep over one Conformer hyper-parameter.
+obs report
+    Summarize a JSONL run log (manifest, epochs, stages, anomalies).
 """
 
 from __future__ import annotations
@@ -20,6 +23,7 @@ import argparse
 import json
 import sys
 from dataclasses import replace
+from pathlib import Path
 from typing import List, Optional
 
 from repro.data import available_datasets, load_dataset
@@ -59,6 +63,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         univariate=args.univariate,
         seeds=_parse_seeds(args.seeds),
         model_overrides=overrides,
+        log_jsonl=args.log_jsonl,
     )
     if args.json:
         print(json.dumps({
@@ -149,6 +154,17 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_obs_report(args: argparse.Namespace) -> int:
+    from repro.obs import load_run, render_report, report_dict
+
+    run = load_run(args.path)
+    if args.json:
+        print(json.dumps(report_dict(run), indent=2, default=str))
+    else:
+        print(render_report(run))
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(prog="repro", description=__doc__)
     sub = parser.add_subparsers(dest="command", required=True)
@@ -165,6 +181,10 @@ def build_parser() -> argparse.ArgumentParser:
     run_p.add_argument("--epochs", type=int, default=None)
     run_p.add_argument("--model-overrides", default=None, help="JSON dict of model kwargs")
     run_p.add_argument("--json", action="store_true", help="machine-readable output")
+    run_p.add_argument(
+        "--log-jsonl", type=Path, default=None, dest="log_jsonl",
+        help="write a structured JSONL run log (see 'obs report')",
+    )
     run_p.set_defaults(fn=_cmd_run)
 
     eff_p = sub.add_parser("efficiency", help="attention time/memory comparison (Fig. 5)")
@@ -189,6 +209,13 @@ def build_parser() -> argparse.ArgumentParser:
     sweep_p.add_argument("--values", default="1,2,4")
     sweep_p.add_argument("--pred-len", type=int, default=8, dest="pred_len")
     sweep_p.set_defaults(fn=_cmd_sweep)
+
+    obs_p = sub.add_parser("obs", help="run-telemetry tools")
+    obs_sub = obs_p.add_subparsers(dest="obs_command", required=True)
+    report_p = obs_sub.add_parser("report", help="summarize a JSONL run log")
+    report_p.add_argument("path", type=Path, help="run log written via --log-jsonl / JSONLSink")
+    report_p.add_argument("--json", action="store_true", help="machine-readable output")
+    report_p.set_defaults(fn=_cmd_obs_report)
     return parser
 
 

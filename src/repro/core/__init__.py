@@ -3,7 +3,7 @@
 from repro.core.config import ConformerConfig
 from repro.core.decomp import SeriesDecomposition
 from repro.core.loess import LoessSmoother, STLDecomposition
-from repro.core.flow import NormalizingFlow
+from repro.core.flow import NormalizingFlow, set_flow_anomaly_hook
 from repro.core.input_repr import (
     InputRepresentation,
     MultiscaleDynamics,
@@ -19,6 +19,7 @@ __all__ = [
     "LoessSmoother",
     "STLDecomposition",
     "NormalizingFlow",
+    "set_flow_anomaly_hook",
     "InputRepresentation",
     "MultiscaleDynamics",
     "multivariate_correlation_weights",

@@ -19,7 +19,7 @@ by the caller (flow skipped entirely).
 
 from __future__ import annotations
 
-from typing import List, Optional, Tuple
+from typing import Callable, List, Optional, Tuple
 
 import numpy as np
 
@@ -28,6 +28,23 @@ from repro.tensor import Tensor, functional as F
 from repro.tensor.random import spawn_rng
 
 FLOW_MODES = ("flow", "z_e", "z_d", "z_0")
+
+# Observability hook: called with (anomaly_kind, payload_dict) when the
+# flow loss goes non-finite.  None (the default) costs nothing — the
+# telemetry layer (repro.obs) installs a callback during instrumented
+# runs; core never imports obs, the dependency points one way.
+_ANOMALY_HOOK: Optional[Callable[[str, dict], None]] = None
+
+
+def set_flow_anomaly_hook(
+    hook: Optional[Callable[[str, dict], None]],
+) -> Optional[Callable[[str, dict], None]]:
+    """Install (or clear, with None) the flow anomaly hook; returns the
+    previous hook so callers can restore it."""
+    global _ANOMALY_HOOK
+    previous = _ANOMALY_HOOK
+    _ANOMALY_HOOK = hook
+    return previous
 
 
 class _GaussianHead(Module):
@@ -159,7 +176,17 @@ class NormalizingFlow(Module):
         """Gaussian negative log-likelihood of the target series."""
         mu, sigma = self.output_distribution(h_enc, h_dec, deterministic=deterministic)
         diff = target.detach() - mu
-        return (F.log(sigma) + 0.5 * (diff * diff) / (sigma * sigma)).mean() + 0.5 * float(np.log(2 * np.pi))
+        loss = (F.log(sigma) + 0.5 * (diff * diff) / (sigma * sigma)).mean() + 0.5 * float(np.log(2 * np.pi))
+        if _ANOMALY_HOOK is not None and not np.isfinite(loss.data).all():
+            _ANOMALY_HOOK(
+                "flow_nll_nonfinite",
+                {
+                    "loss": float(np.asarray(loss.data).reshape(-1)[0]),
+                    "sigma_min": float(sigma.data.min()),
+                    "mu_nonfinite": int((~np.isfinite(mu.data)).sum()),
+                },
+            )
+        return loss
 
     def sample_distribution(self, h_enc: Tensor, h_dec: Tensor, n_samples: int = 100) -> np.ndarray:
         """Draws from the explicit output distribution (S, B, pred_len, c_out)."""

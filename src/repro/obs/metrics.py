@@ -1,0 +1,163 @@
+"""Metric primitives: counters, gauges, and streaming histograms.
+
+All metrics are cheap enough to update per batch.  A
+:class:`StreamingHistogram` keeps O(1) aggregates (count/sum/min/max and
+an exponentially-weighted moving average) plus a bounded ring of recent
+observations from which it answers percentile queries (p50/p95 by
+default) — so loss, grad-norm, and samples/sec distributions stay
+queryable without unbounded memory.  A :class:`MetricRegistry` is a
+get-or-create namespace whose :meth:`~MetricRegistry.snapshot` is
+JSON-serialisable and feeds the ``metrics`` event in run logs.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+from typing import Dict, Iterable, Optional
+
+
+class Counter:
+    """Monotonically increasing count (clip events, skipped steps, ...)."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0
+
+    def inc(self, n: int = 1) -> int:
+        self.value += n
+        return self.value
+
+    def as_dict(self) -> dict:
+        return {"type": "counter", "value": self.value}
+
+
+class Gauge:
+    """Last-written value (current learning rate, active epoch, ...)."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value: Optional[float] = None
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+    def as_dict(self) -> dict:
+        return {"type": "gauge", "value": self.value}
+
+
+class StreamingHistogram:
+    """Streaming distribution summary: quantiles over a recent window,
+    exact count/sum/min/max over everything ever observed, and an EWMA.
+
+    Parameters
+    ----------
+    window:
+        Ring-buffer capacity backing the percentile estimates; quantiles
+        describe the last ``window`` observations, the scalar aggregates
+        describe the full stream.
+    ewma_alpha:
+        Smoothing factor of the exponentially-weighted moving average
+        (higher = more reactive).
+    """
+
+    def __init__(self, name: str, window: int = 512, ewma_alpha: float = 0.1) -> None:
+        self.name = name
+        self.count = 0
+        self.total = 0.0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+        self.ewma: Optional[float] = None
+        self.ewma_alpha = ewma_alpha
+        self.nonfinite = 0
+        self._ring: deque = deque(maxlen=window)
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        if not math.isfinite(value):
+            # keep poison out of the aggregates but remember we saw it
+            self.nonfinite += 1
+            return
+        self.count += 1
+        self.total += value
+        self.min = value if self.min is None else min(self.min, value)
+        self.max = value if self.max is None else max(self.max, value)
+        self.ewma = value if self.ewma is None else (
+            self.ewma_alpha * value + (1.0 - self.ewma_alpha) * self.ewma
+        )
+        self._ring.append(value)
+
+    # ------------------------------------------------------------------
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else float("nan")
+
+    def quantile(self, q: float) -> float:
+        """Linear-interpolated quantile over the recent window."""
+        if not self._ring:
+            return float("nan")
+        ordered = sorted(self._ring)
+        if len(ordered) == 1:
+            return ordered[0]
+        pos = q * (len(ordered) - 1)
+        lo = int(math.floor(pos))
+        hi = min(lo + 1, len(ordered) - 1)
+        frac = pos - lo
+        return ordered[lo] * (1.0 - frac) + ordered[hi] * frac
+
+    def percentiles(self, qs: Iterable[float] = (0.5, 0.95)) -> Dict[str, float]:
+        return {f"p{int(round(q * 100))}": self.quantile(q) for q in qs}
+
+    def as_dict(self) -> dict:
+        return {
+            "type": "histogram",
+            "count": self.count,
+            "mean": self.mean if self.count else None,
+            "min": self.min,
+            "max": self.max,
+            "ewma": self.ewma,
+            "p50": self.quantile(0.5) if self._ring else None,
+            "p95": self.quantile(0.95) if self._ring else None,
+            "nonfinite": self.nonfinite,
+        }
+
+
+class MetricRegistry:
+    """Get-or-create namespace of named metrics."""
+
+    def __init__(self) -> None:
+        self._metrics: Dict[str, object] = {}
+
+    def _get(self, name: str, cls, **kwargs):
+        metric = self._metrics.get(name)
+        if metric is None:
+            metric = cls(name, **kwargs)
+            self._metrics[name] = metric
+        elif not isinstance(metric, cls):
+            raise TypeError(f"metric {name!r} already registered as {type(metric).__name__}")
+        return metric
+
+    def counter(self, name: str) -> Counter:
+        return self._get(name, Counter)
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get(name, Gauge)
+
+    def histogram(self, name: str, window: int = 512, ewma_alpha: float = 0.1) -> StreamingHistogram:
+        metric = self._metrics.get(name)
+        if metric is None:
+            metric = StreamingHistogram(name, window=window, ewma_alpha=ewma_alpha)
+            self._metrics[name] = metric
+        elif not isinstance(metric, StreamingHistogram):
+            raise TypeError(f"metric {name!r} already registered as {type(metric).__name__}")
+        return metric
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._metrics
+
+    def __iter__(self):
+        return iter(self._metrics.items())
+
+    def snapshot(self) -> Dict[str, dict]:
+        """JSON-serialisable state of every registered metric."""
+        return {name: metric.as_dict() for name, metric in sorted(self._metrics.items())}

@@ -1,0 +1,182 @@
+"""Render a JSONL run log back into a human-readable summary.
+
+``python -m repro.cli obs report run.jsonl`` loads the event stream
+written by a :class:`~repro.obs.runlog.RunLogger` and prints:
+
+- the run manifest (model, dataset, seed, git rev, numpy version, ...),
+- a per-epoch table (train/val loss, grad norm, samples/sec),
+- the per-stage wall-clock breakdown from the ``spans`` summary event,
+- metric distributions (p50/p95/max/EWMA) from the ``metrics`` event,
+- every anomaly, in order.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+
+@dataclass
+class RunRecord:
+    """Parsed view of one JSONL run log."""
+
+    path: Optional[Path] = None
+    manifest: Dict = field(default_factory=dict)
+    events: List[Dict] = field(default_factory=list)
+    epochs: List[Dict] = field(default_factory=list)
+    anomalies: List[Dict] = field(default_factory=list)
+    spans: Dict[str, Dict] = field(default_factory=dict)
+    metrics: Dict[str, Dict] = field(default_factory=dict)
+
+    def of_kind(self, kind: str) -> List[Dict]:
+        return [e for e in self.events if e.get("kind") == kind]
+
+
+def load_run(path: Union[str, Path]) -> RunRecord:
+    """Parse a JSONL run log into a :class:`RunRecord`.
+
+    Tolerates trailing garbage lines (a crashed run may truncate its last
+    event) — malformed lines are skipped, not fatal.
+    """
+    path = Path(path)
+    run = RunRecord(path=path)
+    with open(path, "r", encoding="utf-8") as stream:
+        for line in stream:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                event = json.loads(line)
+            except json.JSONDecodeError:
+                continue
+            if not isinstance(event, dict):
+                continue
+            run.events.append(event)
+            kind = event.get("kind")
+            if kind == "manifest" and not run.manifest:
+                run.manifest = event
+            elif kind == "epoch":
+                run.epochs.append(event)
+            elif kind == "anomaly":
+                run.anomalies.append(event)
+            elif kind == "spans":
+                run.spans = event.get("spans", {})
+            elif kind == "metrics":
+                run.metrics = event.get("metrics", {})
+    return run
+
+
+# ----------------------------------------------------------------------
+# rendering
+# ----------------------------------------------------------------------
+def _fmt(value, width: int = 10, digits: int = 4) -> str:
+    if value is None:
+        return f"{'-':>{width}}"
+    if isinstance(value, float):
+        return f"{value:>{width}.{digits}f}"
+    return f"{value:>{width}}"
+
+
+_MANIFEST_KEYS = (
+    "run_id",
+    "dataset",
+    "model",
+    "pred_len",
+    "seed",
+    "seeds",
+    "git_rev",
+    "numpy_version",
+    "python_version",
+)
+
+
+def render_report(run: RunRecord) -> str:
+    """Multi-section fixed-width report of one run log."""
+    lines: List[str] = []
+    title = str(run.path) if run.path is not None else "<run>"
+    lines.append(f"run log: {title} ({len(run.events)} events)")
+
+    if run.manifest:
+        lines.append("")
+        lines.append("manifest")
+        lines.append("-" * 60)
+        for key in _MANIFEST_KEYS:
+            if key in run.manifest:
+                lines.append(f"  {key:<16} {run.manifest[key]}")
+        settings = run.manifest.get("settings")
+        if isinstance(settings, dict):
+            compact = ", ".join(f"{k}={v}" for k, v in list(settings.items())[:8])
+            lines.append(f"  {'settings':<16} {compact}{', ...' if len(settings) > 8 else ''}")
+
+    if run.epochs:
+        lines.append("")
+        lines.append("epochs")
+        lines.append(
+            f"  {'epoch':>5} {'train_loss':>12} {'val_loss':>12} {'grad_norm':>12} {'samples/s':>12}"
+        )
+        lines.append("  " + "-" * 58)
+        for e in run.epochs:
+            lines.append(
+                "  "
+                + _fmt(e.get("epoch"), 5)
+                + " "
+                + _fmt(e.get("train_loss"), 12)
+                + " "
+                + _fmt(e.get("val_loss"), 12)
+                + " "
+                + _fmt(e.get("grad_norm"), 12)
+                + " "
+                + _fmt(e.get("samples_per_sec"), 12, 1)
+            )
+
+    if run.spans:
+        lines.append("")
+        lines.append("stages (wall clock)")
+        lines.append(f"  {'span':<36} {'calls':>8} {'seconds':>12} {'mean ms':>10}")
+        lines.append("  " + "-" * 70)
+        for path in sorted(run.spans, key=lambda p: -run.spans[p].get("seconds", 0.0)):
+            stats = run.spans[path]
+            calls = stats.get("calls", 0)
+            seconds = stats.get("seconds", 0.0)
+            mean_ms = (seconds / calls) * 1e3 if calls else 0.0
+            lines.append(f"  {path:<36} {calls:>8} {seconds:>12.6f} {mean_ms:>10.3f}")
+
+    if run.metrics:
+        lines.append("")
+        lines.append("metrics")
+        lines.append(f"  {'metric':<24} {'count':>8} {'mean':>10} {'p50':>10} {'p95':>10} {'max':>10} {'ewma':>10}")
+        lines.append("  " + "-" * 88)
+        for name in sorted(run.metrics):
+            m = run.metrics[name]
+            if m.get("type") == "histogram":
+                lines.append(
+                    f"  {name:<24} {_fmt(m.get('count'), 8)} {_fmt(m.get('mean'))} "
+                    f"{_fmt(m.get('p50'))} {_fmt(m.get('p95'))} {_fmt(m.get('max'))} {_fmt(m.get('ewma'))}"
+                )
+            else:
+                lines.append(f"  {name:<24} {_fmt(m.get('value'), 8)}  ({m.get('type')})")
+
+    lines.append("")
+    if run.anomalies:
+        lines.append(f"anomalies ({len(run.anomalies)})")
+        for a in run.anomalies:
+            detail = {k: v for k, v in a.items() if k not in ("ts", "kind", "anomaly")}
+            lines.append(f"  {a.get('anomaly')}: {detail}")
+    else:
+        lines.append("anomalies: none")
+    return "\n".join(lines)
+
+
+def report_dict(run: RunRecord) -> Dict:
+    """Machine-readable summary (``obs report --json``)."""
+    return {
+        "path": str(run.path) if run.path is not None else None,
+        "n_events": len(run.events),
+        "manifest": run.manifest,
+        "epochs": run.epochs,
+        "spans": run.spans,
+        "metrics": run.metrics,
+        "anomalies": run.anomalies,
+    }

@@ -1,0 +1,145 @@
+"""Event sinks: where structured run events go.
+
+Every sink consumes plain-dict events (``{"ts": ..., "kind": ..., ...}``)
+via :meth:`Sink.emit`.  Four implementations:
+
+- :class:`NullSink` — ``enabled = False``; the :class:`RunLogger` skips
+  all work when only null sinks are attached, keeping telemetry
+  zero-overhead when disabled.
+- :class:`MemorySink` — bounded ring buffer, handy for tests and
+  in-process inspection.
+- :class:`JSONLSink` — one JSON object per line; the first line is the
+  run manifest, making every log self-describing and replayable by
+  ``python -m repro.cli obs report``.
+- :class:`ConsoleSink` — renders ``epoch`` events exactly like the old
+  ``Trainer(verbose=True)`` print lines, plus anomaly warnings.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import sys
+from collections import deque
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, TextIO, Union
+
+
+class Sink:
+    """Event consumer interface."""
+
+    enabled: bool = True
+
+    def emit(self, event: Dict) -> None:
+        raise NotImplementedError
+
+    def close(self) -> None:  # pragma: no cover - trivial default
+        pass
+
+
+class NullSink(Sink):
+    """Discards everything; its ``enabled = False`` flag lets callers
+    short-circuit event construction entirely."""
+
+    enabled = False
+
+    def emit(self, event: Dict) -> None:
+        pass
+
+
+class MemorySink(Sink):
+    """Keep the most recent ``capacity`` events in memory."""
+
+    def __init__(self, capacity: int = 4096) -> None:
+        self._ring: deque = deque(maxlen=capacity)
+
+    def emit(self, event: Dict) -> None:
+        self._ring.append(event)
+
+    @property
+    def events(self) -> List[Dict]:
+        return list(self._ring)
+
+    def of_kind(self, kind: str) -> List[Dict]:
+        return [e for e in self._ring if e.get("kind") == kind]
+
+    def clear(self) -> None:
+        self._ring.clear()
+
+
+class JSONLSink(Sink):
+    """Append events as JSON lines to ``path`` (or a provided stream)."""
+
+    def __init__(self, path: Union[str, Path, None], stream: Optional[TextIO] = None) -> None:
+        if (path is None) == (stream is None):
+            raise ValueError("provide exactly one of path or stream")
+        self.path = Path(path) if path is not None else None
+        if self.path is not None:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            self._stream: TextIO = open(self.path, "w", encoding="utf-8")
+            self._owns_stream = True
+        else:
+            self._stream = stream
+            self._owns_stream = False
+        self.events_written = 0
+
+    def emit(self, event: Dict) -> None:
+        self._stream.write(json.dumps(event, default=_jsonable) + "\n")
+        self.events_written += 1
+
+    def close(self) -> None:
+        self._stream.flush()
+        if self._owns_stream:
+            self._stream.close()
+
+
+def _jsonable(value):
+    """Fallback serialiser: numpy scalars/arrays and arbitrary objects."""
+    if hasattr(value, "tolist"):
+        return value.tolist()
+    if hasattr(value, "item"):
+        return value.item()
+    return repr(value)
+
+
+class ConsoleSink(Sink):
+    """Human-readable rendering of selected event kinds.
+
+    ``epoch`` events reproduce the historical ``Trainer(verbose=True)``
+    output byte-for-byte; ``anomaly`` events get a loud one-liner; other
+    kinds are ignored unless listed in ``kinds``.
+    """
+
+    def __init__(
+        self,
+        stream: Optional[TextIO] = None,
+        kinds: Sequence[str] = ("epoch", "anomaly"),
+    ) -> None:
+        # None = resolve sys.stdout at emit time, so redirection works
+        self._stream = stream
+        self.kinds = tuple(kinds)
+
+    def emit(self, event: Dict) -> None:
+        kind = event.get("kind")
+        if kind not in self.kinds:
+            return
+        if kind == "epoch":
+            line = f"epoch {event.get('epoch')}: train={event.get('train_loss'):.4f}"
+            if event.get("val_loss") is not None:
+                line += f" val={event.get('val_loss'):.4f}"
+        elif kind == "anomaly":
+            detail = {
+                k: v for k, v in event.items() if k not in ("ts", "kind", "anomaly")
+            }
+            line = f"[anomaly] {event.get('anomaly')}: {detail}"
+        else:
+            payload = {k: v for k, v in event.items() if k not in ("ts", "kind")}
+            line = f"[{kind}] {payload}"
+        stream = self._stream if self._stream is not None else sys.stdout
+        stream.write(line + "\n")
+
+
+def console_to_string() -> "tuple[ConsoleSink, io.StringIO]":
+    """A console sink writing into a StringIO (test/introspection helper)."""
+    buffer = io.StringIO()
+    return ConsoleSink(stream=buffer), buffer

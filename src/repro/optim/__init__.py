@@ -2,7 +2,7 @@
 
 from repro.optim.optimizers import SGD, Adam, AdamW, Optimizer
 from repro.optim.lr_scheduler import ExponentialLR, LambdaLR, StepLR
-from repro.optim.clip import clip_grad_norm
+from repro.optim.clip import clip_grad_norm, global_grad_norm
 from repro.optim.early_stopping import EarlyStopping
 
 __all__ = [
@@ -14,5 +14,6 @@ __all__ = [
     "ExponentialLR",
     "LambdaLR",
     "clip_grad_norm",
+    "global_grad_norm",
     "EarlyStopping",
 ]

@@ -8,14 +8,22 @@ from typing import Iterable
 from repro.nn.module import Parameter
 
 
+def global_grad_norm(params: Iterable[Parameter]) -> float:
+    """Global L2 norm over all parameter gradients (NaN/Inf propagate,
+    so a non-finite return is itself a usable anomaly signal)."""
+    return math.sqrt(sum(float((p.grad**2).sum()) for p in params if p.grad is not None))
+
+
 def clip_grad_norm(params: Iterable[Parameter], max_norm: float) -> float:
     """Scale all gradients so the global L2 norm is at most ``max_norm``.
 
     Returns the pre-clip norm (useful for logging exploding gradients).
+    A non-finite norm leaves gradients untouched — scaling by ``nan``
+    would poison every parameter; callers should skip the step instead.
     """
     params = [p for p in params if p.grad is not None]
-    total = math.sqrt(sum(float((p.grad**2).sum()) for p in params))
-    if total > max_norm and total > 0:
+    total = global_grad_norm(params)
+    if math.isfinite(total) and total > max_norm and total > 0:
         scale = max_norm / total
         for p in params:
             # never scale in place: the engine may share gradient buffers

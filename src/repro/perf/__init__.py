@@ -24,9 +24,9 @@ from __future__ import annotations
 
 import contextlib
 from collections import Counter, defaultdict
-from time import perf_counter
 from typing import Callable, Dict, Iterator, List, Optional, Tuple
 
+from repro.obs.tracer import Tracer
 from repro.tensor import tensor as _tensor_mod
 from repro.tensor.tensor import Tensor
 
@@ -118,29 +118,14 @@ def tape_nodes(fn: Callable[[], Optional[Tensor]]) -> int:
     return prof.total_nodes
 
 
-class StageTimer:
-    """Named wall-clock sections: ``with timer.section("forward"): ...``."""
+class StageTimer(Tracer):
+    """Named wall-clock sections: ``with timer.section("forward"): ...``.
+
+    Now a flat-keyed :class:`repro.obs.Tracer` — same ``seconds`` /
+    ``calls`` / ``as_dict()`` / ``summary()`` surface as before, but
+    sections may nest (aggregated by leaf name) and the timer can be
+    passed anywhere a tracer is expected.
+    """
 
     def __init__(self) -> None:
-        self.seconds: Dict[str, float] = defaultdict(float)
-        self.calls: Counter = Counter()
-
-    @contextlib.contextmanager
-    def section(self, name: str) -> Iterator[None]:
-        start = perf_counter()
-        try:
-            yield
-        finally:
-            self.seconds[name] += perf_counter() - start
-            self.calls[name] += 1
-
-    def as_dict(self) -> dict:
-        return {
-            name: {"seconds": self.seconds[name], "calls": self.calls[name]} for name in self.seconds
-        }
-
-    def summary(self) -> str:
-        lines = [f"{'section':<20} {'calls':>6} {'seconds':>12}", "-" * 40]
-        for name in sorted(self.seconds, key=lambda s: -self.seconds[s]):
-            lines.append(f"{name:<20} {self.calls[name]:>6d} {self.seconds[name]:>12.6f}")
-        return "\n".join(lines)
+        super().__init__(flat=True)

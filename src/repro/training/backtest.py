@@ -18,6 +18,7 @@ import numpy as np
 from repro.data.datasets import TimeSeriesDataset
 from repro.data.scalers import StandardScaler
 from repro.data.windows import DataLoader, WindowedDataset
+from repro.obs import RunLogger
 from repro.tensor.random import seed_everything
 from repro.training.trainer import Trainer
 from repro.training import metrics as M
@@ -75,6 +76,7 @@ def walk_forward(
     max_epochs: int = 3,
     stride: int = 4,
     seed: int = 0,
+    logger: Optional[RunLogger] = None,
 ) -> BacktestReport:
     """Rolling-origin evaluation of a forecaster on one dataset.
 
@@ -89,6 +91,9 @@ def walk_forward(
     min_train:
         Minimum training points before the first origin (default: half
         the series).
+    logger:
+        Optional :class:`repro.obs.RunLogger`; each fold is a ``fold``
+        span and emits a ``fold`` event with its origin and metrics.
     """
     values = dataset.values
     n = len(values)
@@ -104,6 +109,7 @@ def walk_forward(
             f"series too short: last fold needs {origins[-1] + input_len + pred_len} points, have {n}"
         )
 
+    log = logger if logger is not None else RunLogger.null()
     report = BacktestReport()
     for fold_index, origin in enumerate(origins):
         seed_everything(seed + fold_index)
@@ -124,8 +130,11 @@ def walk_forward(
                                   rng=np.random.default_rng(seed + fold_index))
         eval_loader = DataLoader(eval_windows, batch_size=batch_size)
 
-        model = model_factory(dataset.n_dims, pred_len)
-        trainer = Trainer(model, learning_rate=learning_rate, max_epochs=max_epochs)
-        trainer.fit(train_loader)
-        report.folds.append(BacktestFold(origin=origin, metrics=trainer.evaluate(eval_loader)))
+        with log.span("fold"):
+            model = model_factory(dataset.n_dims, pred_len)
+            trainer = Trainer(model, learning_rate=learning_rate, max_epochs=max_epochs, logger=log)
+            trainer.fit(train_loader)
+            fold_metrics = trainer.evaluate(eval_loader)
+        report.folds.append(BacktestFold(origin=origin, metrics=fold_metrics))
+        log.event("fold", fold=fold_index, origin=origin, **fold_metrics)
     return report

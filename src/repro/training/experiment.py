@@ -14,8 +14,9 @@ paper-shaped settings.
 from __future__ import annotations
 
 import os
-from dataclasses import dataclass, field, replace
-from typing import Callable, Dict, List, Optional, Sequence
+from dataclasses import asdict, dataclass, field, replace
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Sequence, Union
 
 import numpy as np
 
@@ -23,6 +24,7 @@ from repro import baselines
 from repro.core import Conformer, ConformerConfig
 from repro.data import DataLoader, WindowedDataset, load_dataset
 from repro.data.datasets import TimeSeriesDataset
+from repro.obs import RunLogger, run_logger
 from repro.tensor.random import seed_everything
 from repro.training.trainer import Trainer, TrainingHistory
 
@@ -291,33 +293,80 @@ def run_experiment(
     univariate: bool = False,
     seeds: Sequence[int] = (0,),
     model_overrides: Optional[dict] = None,
+    logger: Optional[RunLogger] = None,
+    log_jsonl: Union[str, Path, None] = None,
 ) -> ExperimentResult:
-    """Train and evaluate one model on one dataset at one horizon."""
+    """Train and evaluate one model on one dataset at one horizon.
+
+    Telemetry: pass an :class:`repro.obs.RunLogger` (``logger``) or a
+    ``log_jsonl`` path to record a structured run log — a manifest event
+    (seed list, model, settings, git rev, numpy version) followed by
+    per-stage spans, per-epoch metrics, per-seed results, and any
+    anomalies.  Render it with ``python -m repro.cli obs report``.
+    """
     settings = settings if settings is not None else active_profile()
     model_overrides = model_overrides or {}
+    owns_logger = logger is None and log_jsonl is not None
+    log = logger if logger is not None else run_logger(jsonl_path=log_jsonl)
     per_seed: List[Dict[str, float]] = []
     history = None
-    for seed in seeds:
-        seed_everything(seed)  # pin dropout masks etc. spawned off the global rng
-        dataset = load_dataset(dataset_name, n_points=settings.n_points, seed=seed, **settings.dataset_kwargs)
-        if univariate:
-            dataset = dataset.univariate()
-        train, val, test = make_loaders(dataset, settings, pred_len, seed=seed)
-        model = build_model(model_name, dataset.n_dims, dataset.n_dims, pred_len, settings, seed=seed, **model_overrides)
-        trainer = Trainer(
-            model,
-            learning_rate=settings.learning_rate,
-            max_epochs=settings.max_epochs,
-            patience=settings.patience,
+    try:
+        log.log_manifest(
+            dataset=dataset_name,
+            model=model_name,
+            pred_len=pred_len,
+            univariate=univariate,
+            seeds=list(seeds),
+            model_overrides=model_overrides,
+            settings=asdict(settings),
         )
-        history = trainer.fit(train, val)
-        per_seed.append(trainer.evaluate(test))
-    return ExperimentResult(
-        dataset=dataset_name,
-        model=model_name,
-        pred_len=pred_len,
-        mse=float(np.mean([m["mse"] for m in per_seed])),
-        mae=float(np.mean([m["mae"] for m in per_seed])),
-        per_seed=per_seed,
-        history=history,
-    )
+        for seed in seeds:
+            log.event("seed_start", seed=seed)
+            seed_everything(seed)  # pin dropout masks etc. spawned off the global rng
+            with log.span("data_gen"):
+                dataset = load_dataset(
+                    dataset_name, n_points=settings.n_points, seed=seed, **settings.dataset_kwargs
+                )
+                if univariate:
+                    dataset = dataset.univariate()
+            with log.span("window"):
+                train, val, test = make_loaders(dataset, settings, pred_len, seed=seed)
+            with log.span("build_model"):
+                model = build_model(
+                    model_name, dataset.n_dims, dataset.n_dims, pred_len, settings, seed=seed, **model_overrides
+                )
+            trainer = Trainer(
+                model,
+                learning_rate=settings.learning_rate,
+                max_epochs=settings.max_epochs,
+                patience=settings.patience,
+                logger=log,
+            )
+            history = trainer.fit(train, val)
+            with log.span("evaluate"):
+                metrics = trainer.evaluate(test)
+            per_seed.append(metrics)
+            log.event(
+                "seed_result",
+                seed=seed,
+                epochs_run=history.epochs_run,
+                stopped_early=history.stopped_early,
+                skipped_steps=history.skipped_steps,
+                wall_time=history.wall_time,
+                **metrics,
+            )
+        result = ExperimentResult(
+            dataset=dataset_name,
+            model=model_name,
+            pred_len=pred_len,
+            mse=float(np.mean([m["mse"] for m in per_seed])),
+            mae=float(np.mean([m["mae"] for m in per_seed])),
+            per_seed=per_seed,
+            history=history,
+        )
+        log.event("result", dataset=dataset_name, model=model_name, pred_len=pred_len,
+                  mse=result.mse, mae=result.mae)
+        return result
+    finally:
+        if owns_logger:
+            log.close()

@@ -3,18 +3,36 @@
 Matches §V-A3: Adam at lr 1e-4, batch 32, early stopping within 10
 epochs.  Works with any model following the forecaster protocol
 (``forward`` / ``compute_loss`` / ``point_forecast``).
+
+Telemetry: every fit is instrumented through a
+:class:`repro.obs.RunLogger` — spans for epoch/batch/forward/backward/
+step, per-epoch ``epoch`` events (train/val loss, grad norm, samples per
+second), streaming metrics (``loss``, ``grad_norm``, ``clip_events``,
+``samples_per_sec``, ``tape_nodes``), and ``anomaly`` events for
+non-finite losses/gradients and exploding grad norms.  The default
+logger is the shared null logger, which costs nothing; pass
+``verbose=True`` to get the classic console epoch lines (now routed
+through a :class:`~repro.obs.sinks.ConsoleSink`).
+
+Robustness: a batch whose loss is non-finite never reaches the
+optimizer — the step is skipped and recorded, so one poisoned batch
+cannot corrupt Adam's moment buffers for the rest of the run.
 """
 
 from __future__ import annotations
 
+import math
 import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
 import numpy as np
 
+from repro.core.flow import set_flow_anomaly_hook
 from repro.data.windows import DataLoader
-from repro.optim import Adam, EarlyStopping, clip_grad_norm
+from repro.obs import ConsoleSink, RunLogger
+from repro.optim import Adam, EarlyStopping, clip_grad_norm, global_grad_norm
+from repro.perf import profile as op_profile
 from repro.tensor import Tensor, no_grad
 from repro.training import metrics as M
 
@@ -25,13 +43,23 @@ class TrainingHistory:
 
     train_loss: List[float] = field(default_factory=list)
     val_loss: List[float] = field(default_factory=list)
+    grad_norm: List[float] = field(default_factory=list)
     epochs_run: int = 0
     stopped_early: bool = False
     wall_time: float = 0.0
+    skipped_steps: int = 0
 
 
 class Trainer:
-    """Fit a forecaster on windowed loaders and evaluate on held-out data."""
+    """Fit a forecaster on windowed loaders and evaluate on held-out data.
+
+    Parameters
+    ----------
+    logger:
+        Optional :class:`repro.obs.RunLogger`; defaults to the shared
+        null logger (zero overhead).  With ``verbose=True`` and no
+        console sink attached, one is added so epoch lines still print.
+    """
 
     def __init__(
         self,
@@ -41,6 +69,7 @@ class Trainer:
         patience: int = 3,
         grad_clip: Optional[float] = 5.0,
         verbose: bool = False,
+        logger: Optional[RunLogger] = None,
     ) -> None:
         self.model = model
         self.optimizer = Adam(model.parameters(), lr=learning_rate)
@@ -48,68 +77,168 @@ class Trainer:
         self.patience = patience
         self.grad_clip = grad_clip
         self.verbose = verbose
+        if logger is None:
+            logger = RunLogger(sinks=[ConsoleSink()]) if verbose else RunLogger.null()
+        elif verbose:
+            logger.ensure_console()
+        self.logger = logger
+        self._skipped_steps = 0
 
     # ------------------------------------------------------------------
-    def _run_batch(self, batch, train: bool) -> float:
+    def _run_batch(self, batch, train: bool) -> tuple:
+        """One batch; returns ``(loss_value, grad_norm_or_None)``.
+
+        In training mode a non-finite loss aborts the step before
+        ``backward`` and a non-finite gradient norm aborts it before
+        ``optimizer.step`` — Adam's moment buffers only ever see finite
+        updates.
+        """
+        log = self.logger
         x_enc, x_mark, x_dec, y_mark, y = batch
-        outputs = self.model(Tensor(x_enc), Tensor(x_mark), Tensor(x_dec), Tensor(y_mark))
-        loss = self.model.compute_loss(outputs, Tensor(y))
-        if train:
+        with log.span("forward"):
+            outputs = self.model(Tensor(x_enc), Tensor(x_mark), Tensor(x_dec), Tensor(y_mark))
+            loss = self.model.compute_loss(outputs, Tensor(y))
+        value = loss.item()
+        if not train:
+            return value, None
+        if not math.isfinite(value):
+            log.anomaly("nonfinite_loss", loss=value)
+            self._skipped_steps += 1
+            log.count("skipped_steps")
+            return value, None
+        with log.span("backward"):
             self.optimizer.zero_grad()
             loss.backward()
-            if self.grad_clip is not None:
-                clip_grad_norm(self.model.parameters(), self.grad_clip)
+        if self.grad_clip is not None:
+            norm = clip_grad_norm(self.model.parameters(), self.grad_clip)
+            if math.isfinite(norm) and norm > self.grad_clip:
+                log.count("clip_events")
+        elif log.enabled:
+            norm = global_grad_norm(self.model.parameters())
+        else:
+            norm = None  # not needed: no clipping, no telemetry
+        if norm is not None:
+            # emits nonfinite_grad_norm / exploding_grad_norm events;
+            # True only for non-finite norms, which must not reach Adam
+            if log.check_grad_norm(norm):
+                self.optimizer.zero_grad()
+                self._skipped_steps += 1
+                log.count("skipped_steps")
+                return value, norm
+            log.observe("grad_norm", norm)
+        with log.span("step"):
             self.optimizer.step()
-        return loss.item()
+        return value, norm
 
     def fit(self, train_loader: DataLoader, val_loader: Optional[DataLoader] = None) -> TrainingHistory:
         """Train with early stopping on validation loss; restore best state."""
+        log = self.logger
         history = TrainingHistory()
         stopper = EarlyStopping(patience=self.patience)
         start = time.perf_counter()
-        for epoch in range(self.max_epochs):
-            self.model.train()
-            epoch_losses = [self._run_batch(batch, train=True) for batch in train_loader]
-            train_loss = float(np.mean(epoch_losses)) if epoch_losses else float("nan")
-            history.train_loss.append(train_loss)
+        self._skipped_steps = 0
+        prev_hook = set_flow_anomaly_hook(
+            (lambda kind, payload: log.anomaly(kind, **payload)) if log.enabled else None
+        )
+        try:
+            with log.span("fit"):
+                for epoch in range(self.max_epochs):
+                    self.model.train()
+                    epoch_start = time.perf_counter()
+                    epoch_losses: List[float] = []
+                    epoch_norms: List[float] = []
+                    n_samples = 0
+                    with log.span("epoch"):
+                        for batch_index, batch in enumerate(train_loader):
+                            n_samples += len(batch[0])
+                            with log.span("batch"):
+                                if batch_index == 0 and log.enabled:
+                                    # bridge op-level tape counts into the
+                                    # metric registry once per epoch
+                                    with op_profile() as prof:
+                                        value, norm = self._run_batch(batch, train=True)
+                                    log.record_op_profile(prof)
+                                else:
+                                    value, norm = self._run_batch(batch, train=True)
+                            epoch_losses.append(value)
+                            if norm is not None and math.isfinite(norm):
+                                epoch_norms.append(norm)
+                    epoch_seconds = time.perf_counter() - epoch_start
+                    # skipped (non-finite) batches are excluded from the mean;
+                    # they are accounted for in skipped_steps and anomaly events
+                    finite_losses = [v for v in epoch_losses if math.isfinite(v)]
+                    train_loss = float(np.mean(finite_losses)) if finite_losses else float("nan")
+                    history.train_loss.append(train_loss)
+                    mean_norm = float(np.mean(epoch_norms)) if epoch_norms else float("nan")
+                    history.grad_norm.append(mean_norm)
+                    samples_per_sec = n_samples / epoch_seconds if epoch_seconds > 0 else float("nan")
 
-            if val_loader is not None:
-                val_loss = self.evaluate_loss(val_loader)
-                history.val_loss.append(val_loss)
-                stopper.update(val_loss, state=self.model.state_dict())
-                if self.verbose:
-                    print(f"epoch {epoch}: train={train_loss:.4f} val={val_loss:.4f}")
-                if stopper.should_stop:
-                    history.stopped_early = True
+                    val_loss: Optional[float] = None
+                    if val_loader is not None:
+                        with log.span("validate"):
+                            val_loss = self.evaluate_loss(val_loader)
+                        history.val_loss.append(val_loss)
+                        stopper.update(val_loss, state=self.model.state_dict())
+
+                    if log.enabled:
+                        log.check_loss(train_loss)
+                        log.observe("loss", train_loss)
+                        log.observe("samples_per_sec", samples_per_sec)
+                        log.event(
+                            "epoch",
+                            epoch=epoch,
+                            train_loss=train_loss,
+                            val_loss=val_loss,
+                            grad_norm=mean_norm if math.isfinite(mean_norm) else None,
+                            samples_per_sec=samples_per_sec,
+                            n_samples=n_samples,
+                            seconds=epoch_seconds,
+                        )
+
                     history.epochs_run = epoch + 1
-                    break
-            elif self.verbose:
-                print(f"epoch {epoch}: train={train_loss:.4f}")
-            history.epochs_run = epoch + 1
-        if stopper.best_state is not None:
-            self.model.load_state_dict(stopper.best_state)
+                    if val_loader is not None and stopper.should_stop:
+                        history.stopped_early = True
+                        log.event("early_stop", epoch=epoch, best_val=stopper.best_loss)
+                        break
+            if stopper.best_state is not None:
+                self.model.load_state_dict(stopper.best_state)
+        finally:
+            set_flow_anomaly_hook(prev_hook)
         history.wall_time = time.perf_counter() - start
+        history.skipped_steps = self._skipped_steps
         return history
 
     # ------------------------------------------------------------------
     def evaluate_loss(self, loader: DataLoader) -> float:
-        """Mean model loss over a loader (no gradient, eval mode)."""
+        """Mean model loss over a loader (no gradient, eval mode).
+
+        Restores the model's prior train/eval mode on exit.
+        """
+        was_training = getattr(self.model, "training", True)
         self.model.eval()
-        with no_grad():
-            losses = [self._run_batch(batch, train=False) for batch in loader]
-        self.model.train()
+        try:
+            with no_grad():
+                losses = [self._run_batch(batch, train=False)[0] for batch in loader]
+        finally:
+            self.model.train(was_training)
         return float(np.mean(losses)) if losses else float("nan")
 
     def evaluate(self, loader: DataLoader) -> Dict[str, float]:
-        """Point-forecast metrics (mse/mae/rmse/mape) over a loader."""
+        """Point-forecast metrics (mse/mae/rmse/mape) over a loader.
+
+        Restores the model's prior train/eval mode on exit.
+        """
+        was_training = getattr(self.model, "training", True)
         self.model.eval()
         predictions, targets = [], []
-        with no_grad():
-            for x_enc, x_mark, x_dec, y_mark, y in loader:
-                outputs = self.model(Tensor(x_enc), Tensor(x_mark), Tensor(x_dec), Tensor(y_mark))
-                predictions.append(self.model.point_forecast(outputs))
-                targets.append(y)
-        self.model.train()
+        try:
+            with no_grad():
+                for x_enc, x_mark, x_dec, y_mark, y in loader:
+                    outputs = self.model(Tensor(x_enc), Tensor(x_mark), Tensor(x_dec), Tensor(y_mark))
+                    predictions.append(self.model.point_forecast(outputs))
+                    targets.append(y)
+        finally:
+            self.model.train(was_training)
         prediction = np.concatenate(predictions, axis=0)
         target = np.concatenate(targets, axis=0)
         return M.evaluate(prediction, target)

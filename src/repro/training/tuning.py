@@ -15,6 +15,7 @@ from typing import Any, Dict, List, Optional, Sequence
 import numpy as np
 
 from repro.data import load_dataset
+from repro.obs import RunLogger
 from repro.tensor.random import seed_everything
 from repro.training.experiment import ExperimentSettings, active_profile, build_model, make_loaders
 from repro.training.trainer import Trainer
@@ -66,6 +67,7 @@ def grid_search(
     univariate: bool = False,
     seed: int = 0,
     evaluate_all_on_test: bool = False,
+    logger: Optional[RunLogger] = None,
 ) -> SearchResult:
     """Exhaustive search over ``param_grid``; select on validation loss.
 
@@ -73,12 +75,14 @@ def grid_search(
     ``d_model``) vary the profile; all other keys are passed to the model
     constructor as overrides (e.g. ``window``, ``n_flows``, ``hidden_size``).
     Only the winner is evaluated on the test split unless
-    ``evaluate_all_on_test`` is set.
+    ``evaluate_all_on_test`` is set.  With a :class:`repro.obs.RunLogger`
+    each grid point is a ``trial`` span emitting a ``trial`` event.
     """
     base_settings = settings if settings is not None else active_profile()
     settings_space, model_space = _split_param_spaces(param_grid)
     keys = list(settings_space) + list(model_space)
     value_lists = [param_grid[k] for k in keys]
+    log = logger if logger is not None else RunLogger.null()
 
     result = SearchResult()
     for combo in itertools.product(*value_lists):
@@ -87,21 +91,24 @@ def grid_search(
         overrides = {k: params[k] for k in model_space}
 
         seed_everything(seed)
-        dataset = load_dataset(
-            dataset_name, n_points=trial_settings.n_points, seed=seed, **trial_settings.dataset_kwargs
-        )
-        if univariate:
-            dataset = dataset.univariate()
-        train, val, test = make_loaders(dataset, trial_settings, pred_len, seed=seed)
-        model = build_model(model_name, dataset.n_dims, dataset.n_dims, pred_len, trial_settings, seed=seed, **overrides)
-        trainer = Trainer(
-            model,
-            learning_rate=trial_settings.learning_rate,
-            max_epochs=trial_settings.max_epochs,
-            patience=trial_settings.patience,
-        )
-        trainer.fit(train, val)
-        trial = TrialResult(params=params, val_loss=trainer.evaluate_loss(val))
+        with log.span("trial"):
+            dataset = load_dataset(
+                dataset_name, n_points=trial_settings.n_points, seed=seed, **trial_settings.dataset_kwargs
+            )
+            if univariate:
+                dataset = dataset.univariate()
+            train, val, test = make_loaders(dataset, trial_settings, pred_len, seed=seed)
+            model = build_model(model_name, dataset.n_dims, dataset.n_dims, pred_len, trial_settings, seed=seed, **overrides)
+            trainer = Trainer(
+                model,
+                learning_rate=trial_settings.learning_rate,
+                max_epochs=trial_settings.max_epochs,
+                patience=trial_settings.patience,
+                logger=log,
+            )
+            trainer.fit(train, val)
+            trial = TrialResult(params=params, val_loss=trainer.evaluate_loss(val))
+        log.event("trial", params=params, val_loss=trial.val_loss)
         if evaluate_all_on_test:
             trial.test_metrics = trainer.evaluate(test)
         result.trials.append(trial)

@@ -1,0 +1,56 @@
+"""Lint-style source checks enforced as tests.
+
+Bare ``print`` calls in library code bypass the telemetry layer — all
+run output must flow through :mod:`repro.obs` sinks so it is capturable,
+structured, and silenceable.  Only the user-facing entry points
+(``cli.py``, ``perf/__main__.py``, ``__main__.py``) may print.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+
+import pytest
+
+SRC = Path(__file__).resolve().parent.parent / "src" / "repro"
+
+# user-facing entry points whose job *is* writing to stdout
+PRINT_ALLOWED = {
+    SRC / "cli.py",
+    SRC / "perf" / "__main__.py",
+    SRC / "__main__.py",
+}
+
+
+def _print_calls(path: Path):
+    tree = ast.parse(path.read_text(), filename=str(path))
+    return [
+        node.lineno
+        for node in ast.walk(tree)
+        if isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Name)
+        and node.func.id == "print"
+    ]
+
+
+@pytest.mark.lint
+def test_no_bare_print_outside_entry_points():
+    offenders = {}
+    for path in sorted(SRC.rglob("*.py")):
+        if path in PRINT_ALLOWED:
+            continue
+        lines = _print_calls(path)
+        if lines:
+            offenders[str(path.relative_to(SRC))] = lines
+    assert not offenders, (
+        f"bare print() in library code (route through repro.obs instead): {offenders}"
+    )
+
+
+@pytest.mark.lint
+def test_entry_point_allowlist_is_current():
+    """The allowlist must name real files (catches renames silently
+    widening the lint's blind spot)."""
+    for path in PRINT_ALLOWED:
+        assert path.exists(), f"allowlisted file vanished: {path}"

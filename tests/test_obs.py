@@ -1,0 +1,431 @@
+"""repro.obs: tracer spans, metric registry, sinks, run logger, report.
+
+Covers the observability subsystem end to end: span nesting and
+aggregation, streaming-histogram percentiles/EWMA, ring-buffer and JSONL
+sinks, anomaly detection (non-finite loss/grads, exploding norms), the
+trainer's step-skip robustness, and the JSONL → ``obs report``
+round-trip for a real ``run_experiment`` invocation.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import math
+
+import numpy as np
+import pytest
+
+from repro.data import load_dataset
+from repro.nn import Linear, Module
+from repro.obs import (
+    NULL_LOGGER,
+    AnomalyMonitor,
+    ConsoleSink,
+    JSONLSink,
+    MemorySink,
+    MetricRegistry,
+    RunLogger,
+    StreamingHistogram,
+    Tracer,
+    build_manifest,
+    load_run,
+    render_report,
+    report_dict,
+    run_logger,
+)
+from repro.tensor import Tensor
+from repro.training import run_experiment
+from repro.training.experiment import active_profile, build_model, make_loaders
+from repro.training.trainer import Trainer
+
+
+# ----------------------------------------------------------------------
+# tracer
+# ----------------------------------------------------------------------
+class TestTracer:
+    def test_nested_spans_aggregate_by_path(self):
+        tracer = Tracer()
+        with tracer.span("fit"):
+            for _ in range(3):
+                with tracer.span("epoch"):
+                    with tracer.span("batch"):
+                        pass
+        stats = tracer.as_dict()
+        assert stats["fit"]["calls"] == 1
+        assert stats["fit/epoch"]["calls"] == 3
+        assert stats["fit/epoch/batch"]["calls"] == 3
+        # parent wall-clock bounds its children
+        assert stats["fit"]["seconds"] >= stats["fit/epoch"]["seconds"]
+        assert "fit/epoch/batch" in tracer.summary()
+
+    def test_same_name_at_different_depths_stays_distinct(self):
+        tracer = Tracer()
+        with tracer.span("load"):
+            pass
+        with tracer.span("fit"):
+            with tracer.span("load"):
+                pass
+        assert tracer.calls["load"] == 1
+        assert tracer.calls["fit/load"] == 1
+
+    def test_flat_mode_keys_by_leaf_name(self):
+        tracer = Tracer(flat=True)
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                pass
+            with tracer.span("inner"):
+                pass
+        assert tracer.calls["inner"] == 2
+        assert "outer/inner" not in tracer.seconds
+
+    def test_span_closes_on_exception(self):
+        tracer = Tracer()
+        with pytest.raises(ValueError):
+            with tracer.span("boom"):
+                raise ValueError("inside")
+        assert tracer.calls["boom"] == 1
+        assert tracer.depth == 0
+
+    def test_records_ring_is_bounded(self):
+        tracer = Tracer(max_records=4)
+        for _ in range(10):
+            with tracer.span("s"):
+                pass
+        assert len(tracer.records) == 4
+        assert tracer.calls["s"] == 10  # aggregates unaffected
+
+    def test_on_close_callback_sees_each_record(self):
+        seen = []
+        tracer = Tracer(on_close=seen.append)
+        with tracer.span("a"):
+            with tracer.span("b"):
+                pass
+        assert [r.path for r in seen] == ["a/b", "a"]
+        assert seen[0].depth == 1
+
+
+# ----------------------------------------------------------------------
+# metrics
+# ----------------------------------------------------------------------
+class TestMetrics:
+    def test_histogram_percentiles(self):
+        hist = StreamingHistogram("x")
+        for v in range(1, 101):  # 1..100
+            hist.observe(float(v))
+        assert hist.quantile(0.5) == pytest.approx(50.5)
+        assert hist.quantile(0.95) == pytest.approx(95.05, abs=0.2)
+        assert hist.max == 100.0
+        assert hist.min == 1.0
+        assert hist.mean == pytest.approx(50.5)
+        p = hist.percentiles()
+        assert set(p) == {"p50", "p95"}
+
+    def test_histogram_window_bounds_quantiles_not_aggregates(self):
+        hist = StreamingHistogram("x", window=10)
+        for v in range(100):
+            hist.observe(float(v))
+        assert hist.count == 100
+        assert hist.max == 99.0
+        # quantiles describe only the last 10 observations (90..99)
+        assert hist.quantile(0.0) == 90.0
+
+    def test_histogram_ewma_tracks_recent_values(self):
+        hist = StreamingHistogram("x", ewma_alpha=0.5)
+        hist.observe(0.0)
+        hist.observe(10.0)
+        assert hist.ewma == pytest.approx(5.0)
+
+    def test_histogram_ignores_nonfinite(self):
+        hist = StreamingHistogram("x")
+        hist.observe(1.0)
+        hist.observe(float("nan"))
+        hist.observe(float("inf"))
+        assert hist.count == 1
+        assert hist.nonfinite == 2
+        assert math.isfinite(hist.mean)
+
+    def test_registry_get_or_create_and_snapshot(self):
+        reg = MetricRegistry()
+        reg.counter("clips").inc()
+        reg.counter("clips").inc(2)
+        reg.gauge("lr").set(1e-3)
+        reg.histogram("loss").observe(0.5)
+        snap = reg.snapshot()
+        assert snap["clips"]["value"] == 3
+        assert snap["lr"]["value"] == 1e-3
+        assert snap["loss"]["count"] == 1
+        json.dumps(snap)  # must be JSON-serialisable
+
+    def test_registry_type_conflict_raises(self):
+        reg = MetricRegistry()
+        reg.counter("x")
+        with pytest.raises(TypeError):
+            reg.gauge("x")
+
+
+# ----------------------------------------------------------------------
+# sinks
+# ----------------------------------------------------------------------
+class TestSinks:
+    def test_memory_sink_ring_buffer(self):
+        sink = MemorySink(capacity=3)
+        for i in range(5):
+            sink.emit({"kind": "e", "i": i})
+        assert [e["i"] for e in sink.events] == [2, 3, 4]
+
+    def test_jsonl_sink_round_trip(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        sink = JSONLSink(path)
+        sink.emit({"kind": "manifest", "model": "gru"})
+        sink.emit({"kind": "epoch", "epoch": 0, "train_loss": 0.5, "arr": np.float64(1.5)})
+        sink.close()
+        lines = [json.loads(l) for l in path.read_text().splitlines()]
+        assert lines[0]["kind"] == "manifest"
+        assert lines[1]["arr"] == 1.5  # numpy scalars serialise
+
+    def test_console_sink_epoch_format_matches_legacy_print(self):
+        buf = io.StringIO()
+        sink = ConsoleSink(stream=buf)
+        sink.emit({"kind": "epoch", "epoch": 2, "train_loss": 1.23456, "val_loss": 0.98765})
+        sink.emit({"kind": "epoch", "epoch": 3, "train_loss": 1.0, "val_loss": None})
+        sink.emit({"kind": "spans", "spans": {}})  # filtered out
+        out = buf.getvalue().splitlines()
+        assert out[0] == "epoch 2: train=1.2346 val=0.9877"
+        assert out[1] == "epoch 3: train=1.0000"
+        assert len(out) == 2
+
+
+# ----------------------------------------------------------------------
+# run logger + anomaly monitor
+# ----------------------------------------------------------------------
+class TestRunLogger:
+    def test_null_logger_is_disabled_and_inert(self):
+        log = RunLogger.null()
+        assert log is NULL_LOGGER
+        assert not log.enabled
+        log.event("epoch", epoch=0)
+        log.observe("loss", 1.0)
+        with log.span("x"):
+            pass
+        assert log.tracer.seconds == {}
+        assert log.metrics.snapshot() == {}
+        with pytest.raises(ValueError):
+            log.add_sink(MemorySink())
+
+    def test_events_reach_all_enabled_sinks(self):
+        a, b = MemorySink(), MemorySink()
+        log = RunLogger(sinks=[a, b])
+        log.event("epoch", epoch=1, train_loss=0.5)
+        assert a.events[0]["epoch"] == 1
+        assert b.events[0]["train_loss"] == 0.5
+        assert "ts" in a.events[0]
+
+    def test_close_emits_span_and_metric_summaries(self):
+        sink = MemorySink()
+        log = RunLogger(sinks=[sink])
+        with log.span("fit"):
+            log.observe("loss", 0.25)
+        log.close()
+        kinds = [e["kind"] for e in sink.events]
+        assert "spans" in kinds and "metrics" in kinds
+        spans = sink.of_kind("spans")[0]["spans"]
+        assert spans["fit"]["calls"] == 1
+        metrics = sink.of_kind("metrics")[0]["metrics"]
+        assert metrics["loss"]["count"] == 1
+
+    def test_anomaly_monitor_nonfinite(self):
+        mon = AnomalyMonitor()
+        assert mon.check_loss(float("nan"))["anomaly"] == "nonfinite_loss"
+        assert mon.check_loss(1.0) is None
+        assert mon.check_grad_norm(float("inf"))["anomaly"] == "nonfinite_grad_norm"
+
+    def test_anomaly_monitor_exploding_grad_norm(self):
+        mon = AnomalyMonitor(grad_norm_threshold=10.0, grad_norm_ratio=5.0)
+        for _ in range(5):
+            assert mon.check_grad_norm(1.0) is None
+        finding = mon.check_grad_norm(100.0)
+        assert finding["anomaly"] == "exploding_grad_norm"
+        assert finding["ratio"] > 5.0
+
+    def test_check_loss_emits_event(self):
+        sink = MemorySink()
+        log = RunLogger(sinks=[sink])
+        assert log.check_loss(float("nan")) is True
+        assert log.check_loss(0.5) is False
+        anomalies = sink.of_kind("anomaly")
+        assert len(anomalies) == 1
+        assert anomalies[0]["anomaly"] == "nonfinite_loss"
+        assert log.metrics.counter("anomalies").value == 1
+
+    def test_manifest_records_environment(self):
+        manifest = build_manifest(model="gru", seed=7)
+        assert manifest["model"] == "gru"
+        assert manifest["seed"] == 7
+        assert manifest["numpy_version"] == np.__version__
+        assert "python_version" in manifest
+
+    def test_run_logger_factory_null_without_sinks(self):
+        assert run_logger() is NULL_LOGGER
+        log = run_logger(memory=16)
+        assert log.enabled
+
+
+# ----------------------------------------------------------------------
+# trainer integration
+# ----------------------------------------------------------------------
+class _NaNEveryOther(Module):
+    """Protocol-conforming model whose loss is NaN on odd batches."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.lin = Linear(4, 4, rng=np.random.default_rng(0))
+        self.calls = 0
+
+    def forward(self, x_enc, x_mark, x_dec, y_mark):
+        return self.lin(x_enc)
+
+    def compute_loss(self, outputs, target) -> Tensor:
+        self.calls += 1
+        loss = (outputs * outputs).mean()
+        if self.calls % 2 == 0:
+            return loss * float("nan")
+        return loss
+
+    def point_forecast(self, outputs):
+        return outputs.data
+
+
+def _toy_batches(n_batches: int = 4):
+    rng = np.random.default_rng(3)
+    return [
+        tuple(rng.normal(size=(2, 3, 4)) for _ in range(5))
+        for _ in range(n_batches)
+    ]
+
+
+class TestTrainerTelemetry:
+    def test_nonfinite_loss_skips_optimizer_step(self):
+        model = _NaNEveryOther()
+        sink = MemorySink()
+        trainer = Trainer(model, max_epochs=1, grad_clip=None, logger=RunLogger(sinks=[sink]))
+        before = [p.data.copy() for p in model.parameters()]
+        history = trainer.fit(_toy_batches(4))
+        # odd batches stepped, even batches skipped — params moved, but
+        # never through a NaN update
+        assert history.skipped_steps == 2
+        assert all(np.isfinite(p.data).all() for p in model.parameters())
+        assert any(not np.allclose(b, p.data) for b, p in zip(before, model.parameters()))
+        anomalies = sink.of_kind("anomaly")
+        assert sum(a["anomaly"] == "nonfinite_loss" for a in anomalies) == 2
+        assert sink.of_kind("epoch")[0]["train_loss"] is not None
+
+    def test_nonfinite_loss_skipped_even_without_telemetry(self):
+        model = _NaNEveryOther()
+        trainer = Trainer(model, max_epochs=1, grad_clip=None)
+        history = trainer.fit(_toy_batches(4))
+        assert history.skipped_steps == 2
+        assert all(np.isfinite(p.data).all() for p in model.parameters())
+
+    def test_evaluate_restores_prior_mode(self):
+        settings = active_profile()
+        dataset = load_dataset("etth1", n_points=settings.n_points, seed=0)
+        train, val, test = make_loaders(dataset, settings, 4, seed=0)
+        model = build_model("gru", dataset.n_dims, dataset.n_dims, 4, settings, seed=0)
+        trainer = Trainer(model, max_epochs=1)
+
+        model.eval()
+        trainer.evaluate_loss(val)
+        assert model.training is False, "evaluate_loss must restore eval mode"
+        trainer.evaluate(test)
+        assert model.training is False, "evaluate must restore eval mode"
+
+        model.train()
+        trainer.evaluate_loss(val)
+        assert model.training is True
+
+    def test_epoch_events_and_grad_norm_metrics(self):
+        settings = active_profile()
+        dataset = load_dataset("etth1", n_points=settings.n_points, seed=0)
+        train, val, _ = make_loaders(dataset, settings, 4, seed=0)
+        model = build_model("gru", dataset.n_dims, dataset.n_dims, 4, settings, seed=0)
+        sink = MemorySink()
+        log = RunLogger(sinks=[sink])
+        Trainer(model, max_epochs=2, logger=log).fit(train, val)
+        epochs = sink.of_kind("epoch")
+        assert len(epochs) == 2
+        for e in epochs:
+            assert math.isfinite(e["train_loss"])
+            assert math.isfinite(e["val_loss"])
+            assert e["grad_norm"] > 0
+            assert e["samples_per_sec"] > 0
+        assert log.metrics.histogram("grad_norm").count > 0
+        assert log.metrics.histogram("tape_nodes").count == 2  # first batch per epoch
+        assert log.tracer.calls["fit/epoch/batch/forward"] > 0
+
+
+# ----------------------------------------------------------------------
+# run_experiment round trip + report
+# ----------------------------------------------------------------------
+class TestRunLogRoundTrip:
+    @pytest.fixture(scope="class")
+    def run_log(self, tmp_path_factory):
+        path = tmp_path_factory.mktemp("obs") / "run.jsonl"
+        result = run_experiment("etth1", "gru", pred_len=4, log_jsonl=path)
+        return path, result
+
+    def test_jsonl_manifest_and_epoch_events(self, run_log):
+        path, result = run_log
+        run = load_run(path)
+        assert run.manifest["dataset"] == "etth1"
+        assert run.manifest["model"] == "gru"
+        assert run.manifest["numpy_version"] == np.__version__
+        assert isinstance(run.manifest["settings"], dict)
+        assert run.epochs, "expected per-epoch events"
+        for e in run.epochs:
+            assert "train_loss" in e and "grad_norm" in e and "samples_per_sec" in e
+        # spans + metrics summaries flushed on close
+        assert any(k.startswith("fit") for k in run.spans)
+        assert "loss" in run.metrics and "samples_per_sec" in run.metrics
+
+    def test_report_renders_run(self, run_log):
+        path, result = run_log
+        run = load_run(path)
+        text = render_report(run)
+        assert "manifest" in text
+        assert "etth1" in text and "gru" in text
+        assert "samples/s" in text
+        assert "anomalies: none" in text
+        data = report_dict(run)
+        assert data["manifest"]["model"] == "gru"
+        json.dumps(data, default=str)
+
+    def test_cli_obs_report(self, run_log, capsys):
+        from repro.cli import main
+
+        path, _ = run_log
+        assert main(["obs", "report", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "epochs" in out and "stages (wall clock)" in out
+        assert main(["obs", "report", str(path), "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["manifest"]["dataset"] == "etth1"
+
+    def test_loader_tolerates_truncated_lines(self, run_log, tmp_path):
+        path, _ = run_log
+        broken = tmp_path / "broken.jsonl"
+        broken.write_text(path.read_text() + '{"kind": "epoch", "trunc')
+        run = load_run(broken)
+        assert run.epochs  # valid prefix still parsed
+
+    def test_cli_run_writes_log(self, tmp_path, capsys):
+        from repro.cli import main
+
+        path = tmp_path / "cli_run.jsonl"
+        assert main([
+            "run", "--dataset", "etth1", "--model", "dlinear",
+            "--pred-len", "4", "--epochs", "1", "--log-jsonl", str(path),
+        ]) == 0
+        run = load_run(path)
+        assert run.manifest["model"] == "dlinear"
+        assert run.epochs

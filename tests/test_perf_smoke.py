@@ -131,6 +131,32 @@ class TestProfilerMachinery:
         assert prof.total_nodes == before
         assert outer.total_nodes == 0
 
+    def test_profile_hooks_uninstall_when_body_raises(self):
+        from repro.tensor import tensor as tensor_mod
+
+        assert tensor_mod._TAPE_HOOK is None and tensor_mod._BACKWARD_HOOK is None
+        with pytest.raises(RuntimeError):
+            with profile() as prof:
+                Tensor(np.ones(3), requires_grad=True).sum().backward()
+                raise RuntimeError("body failed")
+        assert tensor_mod._TAPE_HOOK is None, "tape hook leaked after exception"
+        assert tensor_mod._BACKWARD_HOOK is None, "backward hook leaked after exception"
+        # the aborted profiler saw its block; new work is not recorded
+        nodes_at_raise = prof.total_nodes
+        assert nodes_at_raise > 0
+        Tensor(np.ones(3), requires_grad=True).sum().backward()
+        assert prof.total_nodes == nodes_at_raise
+
+    def test_nested_profiles_restore_outer_hooks(self):
+        with profile() as outer_prof:
+            Tensor(np.ones(2), requires_grad=True).sum().backward()
+            with pytest.raises(ValueError):
+                with profile():
+                    raise ValueError("inner failure")
+            # inner teardown must restore the *outer* hooks, not None
+            Tensor(np.ones(2), requires_grad=True).sum().backward()
+        assert outer_prof.tape_counts["sum"] == 2
+
     def test_stage_timer(self):
         timer = StageTimer()
         with timer.section("alpha"):
