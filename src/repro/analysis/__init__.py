@@ -1,0 +1,56 @@
+"""repro.analysis — static analysis and runtime sanitizers for the stack.
+
+Two halves, one goal (trustworthy runs):
+
+- **Lint** (:mod:`~repro.analysis.lint`, :mod:`~repro.analysis.rules`,
+  :mod:`~repro.analysis.reporters`) — an AST rule framework with a
+  registry, per-rule path allowlists, inline ``# repro: noqa[rule-id]``
+  suppressions, and text/JSON reporters.  Run it via
+  ``python -m repro.cli lint src`` (or ``python -m repro.analysis src``);
+  exit code 1 means findings, making it CI-gateable.
+- **Sanitizer** (:mod:`~repro.analysis.sanitizer`) — a debug mode that
+  hooks every tape-node creation and gradient accumulation to catch
+  NaN/Inf, dtype drift, and double-broadcast surprises at the op that
+  caused them, mirrored into :mod:`repro.obs` anomaly events.  Enable
+  with :func:`sanitize` or ``repro.cli run --sanitize``; zero overhead
+  when off.
+
+See ``docs/static-analysis.md`` for the rule catalogue and usage.
+"""
+
+from repro.analysis.lint import (
+    Finding,
+    FileContext,
+    LintConfig,
+    default_config,
+    lint_paths,
+    stale_allowlist_entries,
+)
+from repro.analysis.reporters import render_json, render_text, report_as_dict
+from repro.analysis.rules import DEFAULT_ALLOWLISTS, Rule, all_rules, register
+from repro.analysis.sanitizer import (
+    SanitizerFinding,
+    TensorSanitizer,
+    TensorSanitizerError,
+    sanitize,
+)
+
+__all__ = [
+    "DEFAULT_ALLOWLISTS",
+    "FileContext",
+    "Finding",
+    "LintConfig",
+    "Rule",
+    "SanitizerFinding",
+    "TensorSanitizer",
+    "TensorSanitizerError",
+    "all_rules",
+    "default_config",
+    "lint_paths",
+    "register",
+    "render_json",
+    "render_text",
+    "report_as_dict",
+    "sanitize",
+    "stale_allowlist_entries",
+]

@@ -1,0 +1,258 @@
+"""The lint engine: file discovery, noqa suppression, and rule driving.
+
+The engine is deliberately small — all domain knowledge lives in
+:mod:`repro.analysis.rules`.  Its responsibilities:
+
+- walk the requested paths and parse every ``*.py`` into one
+  :class:`FileContext` (AST + source lines + suppression map),
+- normalise each file to a *package-relative* path so allowlists written
+  as ``"cli.py"`` or ``"optim/"`` match regardless of where the tree is
+  checked out,
+- run every selected rule and drop findings suppressed by an inline
+  ``# repro: noqa[rule-id]`` comment,
+- load allowlist overrides from ``[tool.repro.lint]`` in ``pyproject.toml``
+  when the linted tree lives inside a project.
+
+Suppression syntax (matching the flake8 convention but namespaced so the
+two tools never fight over a comment)::
+
+    param.data[...] = value  # repro: noqa[no-data-write] in-place load
+    risky()                  # repro: noqa  -- suppresses every rule
+
+A file that does not parse yields a single ``parse-error`` finding rather
+than aborting the run — CI should report the broken file, not crash.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field, replace
+from pathlib import Path
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
+
+_NOQA_RE = re.compile(r"#\s*repro:\s*noqa(?:\[(?P<rules>[a-z0-9\-_,\s]+)\])?", re.IGNORECASE)
+
+#: Findings carry this pseudo rule id when a file cannot be parsed.
+PARSE_ERROR = "parse-error"
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation at a source location."""
+
+    path: str
+    line: int
+    col: int
+    rule_id: str
+    message: str
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.rule_id} {self.message}"
+
+
+@dataclass(frozen=True)
+class LintConfig:
+    """Rule selection and per-rule path allowlists.
+
+    ``allowlists`` maps a rule id to package-relative path prefixes the
+    rule must skip: ``"cli.py"`` matches exactly that file, ``"optim/"``
+    matches the whole subpackage.  ``select``, when given, restricts the
+    run to those rule ids.
+    """
+
+    select: Optional[Tuple[str, ...]] = None
+    allowlists: Mapping[str, Tuple[str, ...]] = field(default_factory=dict)
+
+    def allowed(self, rule_id: str, rel_path: str) -> bool:
+        """True when ``rel_path`` is allowlisted for ``rule_id``."""
+        return _matches_any(rel_path, self.allowlists.get(rule_id, ()))
+
+
+def _matches_any(rel_path: str, prefixes: Sequence[str]) -> bool:
+    for prefix in prefixes:
+        if prefix.endswith("/"):
+            if rel_path.startswith(prefix):
+                return True
+        elif rel_path == prefix:
+            return True
+    return False
+
+
+class FileContext:
+    """Everything a rule may inspect about one source file."""
+
+    def __init__(self, path: Path, rel_path: str, source: str, tree: ast.AST) -> None:
+        self.path = path
+        #: path relative to the ``repro`` package root (or the scan root
+        #: when the file is not inside a ``repro`` package) — the
+        #: coordinate system every allowlist and rule scope uses.
+        self.rel_path = rel_path
+        self.source = source
+        self.lines = source.splitlines()
+        self.tree = tree
+        self._suppressions = self._parse_noqa(self.lines)
+
+    @staticmethod
+    def _parse_noqa(lines: Sequence[str]) -> Dict[int, Optional[Set[str]]]:
+        """Map line number -> suppressed rule ids (None = all rules)."""
+        out: Dict[int, Optional[Set[str]]] = {}
+        for lineno, text in enumerate(lines, start=1):
+            match = _NOQA_RE.search(text)
+            if match is None:
+                continue
+            raw = match.group("rules")
+            if raw is None:
+                out[lineno] = None
+            else:
+                out[lineno] = {part.strip() for part in raw.split(",") if part.strip()}
+        return out
+
+    def suppressed(self, rule_id: str, line: int) -> bool:
+        if line not in self._suppressions:
+            return False
+        rules = self._suppressions[line]
+        return rules is None or rule_id in rules
+
+
+def package_relative(path: Path, root: Path) -> str:
+    """Normalise ``path`` into the allowlist coordinate system.
+
+    Files inside a ``repro`` package are addressed relative to that
+    package (``src/repro/optim/clip.py`` -> ``optim/clip.py``); anything
+    else falls back to the scan root (fixture trees in tests keep their
+    own layout, e.g. ``core/bad.py``).
+    """
+    resolved = path.resolve()
+    parts = resolved.parts
+    if "repro" in parts:
+        idx = len(parts) - 1 - tuple(reversed(parts)).index("repro")
+        rel = parts[idx + 1 :]
+        if rel:
+            return "/".join(rel)
+    try:
+        return resolved.relative_to(root.resolve()).as_posix()
+    except ValueError:
+        return resolved.name
+
+
+def iter_python_files(paths: Sequence[Path]) -> Iterable[Tuple[Path, Path]]:
+    """Yield ``(file, scan_root)`` for every python file under ``paths``."""
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            for file in sorted(path.rglob("*.py")):
+                yield file, path
+        elif path.suffix == ".py":
+            yield path, path.parent
+        else:
+            raise FileNotFoundError(f"not a python file or directory: {path}")
+
+
+def lint_paths(
+    paths: Sequence[Path],
+    config: Optional[LintConfig] = None,
+    rules: Optional[Sequence] = None,
+) -> List[Finding]:
+    """Run the rule set over every python file under ``paths``."""
+    from repro.analysis.rules import all_rules
+
+    if config is None:
+        config = default_config(paths)
+    active = list(rules) if rules is not None else list(all_rules().values())
+    if config.select is not None:
+        wanted = set(config.select)
+        unknown = wanted - {rule.id for rule in active}
+        if unknown:
+            raise KeyError(f"unknown rule id(s): {sorted(unknown)}")
+        active = [rule for rule in active if rule.id in wanted]
+
+    findings: List[Finding] = []
+    for file, scan_root in iter_python_files(paths):
+        rel = package_relative(file, scan_root)
+        source = file.read_text(encoding="utf-8")
+        try:
+            tree = ast.parse(source, filename=str(file))
+        except SyntaxError as exc:
+            findings.append(
+                Finding(str(file), exc.lineno or 1, exc.offset or 0, PARSE_ERROR, exc.msg or "syntax error")
+            )
+            continue
+        ctx = FileContext(file, rel, source, tree)
+        for rule in active:
+            if rule.scope is not None and not _matches_any(rel, rule.scope):
+                continue
+            if config.allowed(rule.id, rel):
+                continue
+            for finding in rule.check(ctx):
+                if not ctx.suppressed(finding.rule_id, finding.line):
+                    findings.append(finding)
+    findings.sort()
+    return findings
+
+
+# ----------------------------------------------------------------------
+# configuration
+# ----------------------------------------------------------------------
+def default_config(paths: Sequence[Path] = ()) -> LintConfig:
+    """The shipped allowlists, merged with ``[tool.repro.lint]`` overrides
+    from the nearest ``pyproject.toml`` above the first scanned path."""
+    from repro.analysis.rules import DEFAULT_ALLOWLISTS
+
+    config = LintConfig(allowlists=dict(DEFAULT_ALLOWLISTS))
+    pyproject = _find_pyproject(paths)
+    if pyproject is None:
+        return config
+    overrides = _load_pyproject_overrides(pyproject)
+    if overrides is None:
+        return config
+    merged = dict(config.allowlists)
+    merged.update(overrides)
+    return replace(config, allowlists=merged)
+
+
+def _find_pyproject(paths: Sequence[Path]) -> Optional[Path]:
+    for raw in paths:
+        for parent in [Path(raw).resolve()] + list(Path(raw).resolve().parents):
+            candidate = parent / "pyproject.toml"
+            if candidate.is_file():
+                return candidate
+    return None
+
+
+def _load_pyproject_overrides(pyproject: Path) -> Optional[Dict[str, Tuple[str, ...]]]:
+    try:
+        import tomllib
+    except ImportError:  # python < 3.11: ship defaults, skip overrides
+        return None
+    try:
+        with open(pyproject, "rb") as stream:
+            data = tomllib.load(stream)
+    except (OSError, tomllib.TOMLDecodeError):
+        return None
+    section = data.get("tool", {}).get("repro", {}).get("lint", {})
+    allow = section.get("allowlists", {})
+    if not isinstance(allow, dict):
+        return None
+    return {
+        str(rule_id): tuple(str(p) for p in prefixes)
+        for rule_id, prefixes in allow.items()
+        if isinstance(prefixes, (list, tuple))
+    }
+
+
+def stale_allowlist_entries(root: Path, config: Optional[LintConfig] = None) -> List[Tuple[str, str]]:
+    """Allowlist entries that no longer name a real file/dir under ``root``.
+
+    A stale entry silently widens a rule's blind spot after a rename —
+    the lint test suite asserts this list is empty.
+    """
+    if config is None:
+        config = default_config((root,))
+    stale: List[Tuple[str, str]] = []
+    for rule_id, prefixes in sorted(config.allowlists.items()):
+        for prefix in prefixes:
+            target = root / prefix.rstrip("/")
+            if not target.exists():
+                stale.append((rule_id, prefix))
+    return stale

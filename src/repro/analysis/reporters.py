@@ -1,0 +1,48 @@
+"""Finding reporters: text for humans, JSON for CI.
+
+Text format is the classic greppable ``path:line:col: rule-id message``
+(one finding per line, sorted, summary last).  JSON carries the same
+findings plus per-rule counts under a versioned envelope so downstream
+tooling can evolve without sniffing.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from typing import Dict, List, Sequence
+
+from repro.analysis.lint import Finding
+
+JSON_SCHEMA_VERSION = 1
+
+
+def render_text(findings: Sequence[Finding], files_scanned: int = 0) -> str:
+    lines: List[str] = [f.render() for f in findings]
+    noun = "finding" if len(findings) == 1 else "findings"
+    lines.append(f"{len(findings)} {noun} in {files_scanned} files")
+    return "\n".join(lines)
+
+
+def report_as_dict(findings: Sequence[Finding], files_scanned: int = 0) -> Dict:
+    counts = Counter(f.rule_id for f in findings)
+    return {
+        "version": JSON_SCHEMA_VERSION,
+        "files_scanned": files_scanned,
+        "total": len(findings),
+        "counts": dict(sorted(counts.items())),
+        "findings": [
+            {
+                "path": f.path,
+                "line": f.line,
+                "col": f.col,
+                "rule_id": f.rule_id,
+                "message": f.message,
+            }
+            for f in findings
+        ],
+    }
+
+
+def render_json(findings: Sequence[Finding], files_scanned: int = 0) -> str:
+    return json.dumps(report_as_dict(findings, files_scanned), indent=2)

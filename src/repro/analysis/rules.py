@@ -1,0 +1,261 @@
+"""The domain rule catalogue.
+
+Each rule is a tiny AST visitor over one :class:`~repro.analysis.lint.FileContext`
+that yields :class:`~repro.analysis.lint.Finding` objects.  Rules register
+themselves in a module-level registry; ``repro.cli lint --list-rules``
+renders it, and tests assert the catalogue stays in sync with the docs.
+
+The rules encode this repo's correctness invariants:
+
+``no-print``
+    Library code must route output through :mod:`repro.obs` sinks, never
+    stdout.  Only the user-facing entry points may print.
+``no-data-write``
+    Writing ``Tensor.data`` / ``Tensor.grad`` in-place silently detaches
+    gradients; only the engine (``tensor/``) and the optimizers
+    (``optim/``) may do it.
+``no-global-rng``
+    Sampling from numpy's *global* RNG breaks the seeded "average of 5
+    runs" reproducibility contract — use :mod:`repro.tensor.random`.
+``no-swallowed-exception``
+    ``except: pass`` hides the exact failures the sanitizer exists to
+    surface.
+``no-mutable-default``
+    The classic shared-state footgun.
+``no-wallclock``
+    Wall-clock reads inside the numeric core (``core/``, ``nn/``,
+    ``tensor/``) make forward/backward passes nondeterministic;
+    monotonic timers for profiling hooks are fine.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, Mapping, Optional, Tuple
+
+from repro.analysis.lint import FileContext, Finding
+
+#: Package-relative path prefixes each rule skips by default (overridable
+#: via ``[tool.repro.lint.allowlists]`` in pyproject.toml).
+DEFAULT_ALLOWLISTS: Mapping[str, Tuple[str, ...]] = {
+    # user-facing entry points whose job *is* writing to stdout
+    "no-print": ("cli.py", "perf/__main__.py", "__main__.py", "analysis/__main__.py"),
+    # the autodiff engine and the optimizers mutate tensors by design
+    "no-data-write": ("optim/", "tensor/"),
+}
+
+_REGISTRY: Dict[str, "Rule"] = {}
+
+
+def register(cls):
+    """Class decorator adding one rule instance to the registry."""
+    rule = cls()
+    if rule.id in _REGISTRY:
+        raise ValueError(f"duplicate rule id: {rule.id}")
+    _REGISTRY[rule.id] = rule
+    return cls
+
+
+def all_rules() -> Dict[str, "Rule"]:
+    """Registered rules, keyed by id (copy — callers may filter freely)."""
+    return dict(_REGISTRY)
+
+
+class Rule:
+    """One lint check.  Subclasses set ``id``/``description`` and yield
+    findings from :meth:`check`; ``scope`` (path prefixes) restricts where
+    the rule applies at all (e.g. determinism rules only guard the numeric
+    core)."""
+
+    id: str = ""
+    description: str = ""
+    scope: Optional[Tuple[str, ...]] = None
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        raise NotImplementedError
+
+    def finding(self, ctx: FileContext, node: ast.AST, message: str) -> Finding:
+        return Finding(str(ctx.path), node.lineno, node.col_offset, self.id, message)
+
+
+# ----------------------------------------------------------------------
+# rules
+# ----------------------------------------------------------------------
+@register
+class NoPrint(Rule):
+    id = "no-print"
+    description = "bare print() in library code — route output through repro.obs sinks"
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Name)
+                and node.func.id == "print"
+            ):
+                yield self.finding(ctx, node, "print() bypasses the telemetry layer; use repro.obs")
+
+
+@register
+class NoDataWrite(Rule):
+    id = "no-data-write"
+    description = "write to Tensor.data/.grad outside the engine/optimizer allowlist"
+
+    _ATTRS = frozenset({"data", "grad"})
+
+    def _written_attr(self, target: ast.expr) -> Optional[ast.Attribute]:
+        """The ``.data``/``.grad`` attribute a target writes, if any."""
+        if isinstance(target, ast.Subscript):
+            target = target.value
+        if isinstance(target, ast.Attribute) and target.attr in self._ATTRS:
+            return target
+        return None
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Assign):
+                targets = node.targets
+            elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+                targets = [node.target]
+            else:
+                continue
+            for target in targets:
+                attr = self._written_attr(target)
+                if attr is not None:
+                    yield self.finding(
+                        ctx, node,
+                        f"in-place write to .{attr.attr} detaches gradients; "
+                        "only optim/ and the tensor engine may mutate tensors",
+                    )
+
+
+@register
+class NoGlobalRNG(Rule):
+    id = "no-global-rng"
+    description = "np.random.* global-state call — use repro.tensor.random seeded generators"
+
+    # constructors/types are fine; sampling or seeding the global state is not
+    _ALLOWED = frozenset(
+        {"Generator", "BitGenerator", "SeedSequence", "default_rng", "PCG64", "Philox", "MT19937"}
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not (isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute)):
+                continue
+            func = node.func
+            base = func.value
+            if (
+                isinstance(base, ast.Attribute)
+                and base.attr == "random"
+                and isinstance(base.value, ast.Name)
+                and base.value.id in ("np", "numpy")
+                and func.attr not in self._ALLOWED
+            ):
+                yield self.finding(
+                    ctx, node,
+                    f"np.random.{func.attr}() draws from unseeded global state; "
+                    "use repro.tensor.random.default_rng()/spawn_rng()",
+                )
+
+
+@register
+class NoSwallowedException(Rule):
+    id = "no-swallowed-exception"
+    description = "bare except, or except Exception with a pass-only body"
+
+    _BROAD = frozenset({"Exception", "BaseException"})
+
+    @staticmethod
+    def _body_is_noop(body) -> bool:
+        return all(
+            isinstance(stmt, ast.Pass)
+            or (isinstance(stmt, ast.Expr) and isinstance(stmt.value, ast.Constant) and stmt.value.value is Ellipsis)
+            for stmt in body
+        )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            if node.type is None:
+                yield self.finding(ctx, node, "bare except: catches SystemExit/KeyboardInterrupt too; name the exception")
+            elif (
+                isinstance(node.type, ast.Name)
+                and node.type.id in self._BROAD
+                and self._body_is_noop(node.body)
+            ):
+                yield self.finding(
+                    ctx, node,
+                    f"except {node.type.id}: pass swallows failures silently; handle or re-raise",
+                )
+
+
+@register
+class NoMutableDefault(Rule):
+    id = "no-mutable-default"
+    description = "mutable default argument (list/dict/set literal or constructor)"
+
+    _CTORS = frozenset({"list", "dict", "set"})
+
+    def _is_mutable(self, node: ast.expr) -> bool:
+        if isinstance(node, (ast.List, ast.Dict, ast.Set, ast.ListComp, ast.DictComp, ast.SetComp)):
+            return True
+        return (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Name)
+            and node.func.id in self._CTORS
+            and not node.args
+            and not node.keywords
+        )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            defaults = list(node.args.defaults) + [d for d in node.args.kw_defaults if d is not None]
+            for default in defaults:
+                if self._is_mutable(default):
+                    yield self.finding(
+                        ctx, default,
+                        f"mutable default in {node.name}() is shared across calls; default to None",
+                    )
+
+
+@register
+class NoWallclock(Rule):
+    id = "no-wallclock"
+    description = "wall-clock read inside the numeric core (core/, nn/, tensor/)"
+    scope = ("core/", "nn/", "tensor/")
+
+    _TIME_FNS = frozenset({"time", "time_ns", "localtime"})
+    _DATETIME_FNS = frozenset({"now", "utcnow", "today"})
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        # names bound by `from time import time, ...`
+        local_time_fns = {
+            alias.asname or alias.name
+            for node in ast.walk(ctx.tree)
+            if isinstance(node, ast.ImportFrom) and node.module == "time"
+            for alias in node.names
+            if alias.name in self._TIME_FNS
+        }
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if isinstance(func, ast.Name) and func.id in local_time_fns:
+                yield self.finding(ctx, node, f"{func.id}() reads the wall clock; numeric code must be deterministic")
+            elif isinstance(func, ast.Attribute):
+                base = func.value
+                if func.attr in self._TIME_FNS and isinstance(base, ast.Name) and base.id == "time":
+                    yield self.finding(
+                        ctx, node, f"time.{func.attr}() reads the wall clock; numeric code must be deterministic"
+                    )
+                elif func.attr in self._DATETIME_FNS and (
+                    (isinstance(base, ast.Name) and base.id in ("datetime", "date"))
+                    or (isinstance(base, ast.Attribute) and base.attr in ("datetime", "date"))
+                ):
+                    yield self.finding(
+                        ctx, node, f"datetime.{func.attr}() reads the wall clock; numeric code must be deterministic"
+                    )

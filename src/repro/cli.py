@@ -8,7 +8,11 @@ models
     List the registered forecasters.
 run
     Train and evaluate one (dataset, model, horizon) cell
-    (``--log-jsonl run.jsonl`` records structured telemetry).
+    (``--log-jsonl run.jsonl`` records structured telemetry;
+    ``--sanitize`` runs under the runtime tensor sanitizer).
+lint
+    Run the repro.analysis static-analysis rules over source trees
+    (exit 1 on findings; ``--format json`` for CI).
 efficiency
     Fig. 5-style attention time/memory comparison.
 sweep
@@ -55,16 +59,29 @@ def _cmd_run(args: argparse.Namespace) -> int:
     if args.epochs is not None:
         settings = replace(settings, max_epochs=args.epochs)
     overrides = json.loads(args.model_overrides) if args.model_overrides else None
-    result = run_experiment(
-        args.dataset,
-        args.model,
-        pred_len=args.pred_len,
-        settings=settings,
-        univariate=args.univariate,
-        seeds=_parse_seeds(args.seeds),
-        model_overrides=overrides,
-        log_jsonl=args.log_jsonl,
-    )
+
+    def execute():
+        return run_experiment(
+            args.dataset,
+            args.model,
+            pred_len=args.pred_len,
+            settings=settings,
+            univariate=args.univariate,
+            seeds=_parse_seeds(args.seeds),
+            model_overrides=overrides,
+            log_jsonl=args.log_jsonl,
+        )
+
+    sanitizer = None
+    if args.sanitize:
+        from repro.analysis import sanitize
+
+        # collect mode: a NaN step is reported (and the trainer already
+        # skips it); aborting a long run at the first finding helps nobody
+        with sanitize(raise_on_error=False) as sanitizer:
+            result = execute()
+    else:
+        result = execute()
     if args.json:
         print(json.dumps({
             "dataset": result.dataset,
@@ -76,6 +93,10 @@ def _cmd_run(args: argparse.Namespace) -> int:
         }, indent=2))
     else:
         print(result.row())
+    if sanitizer is not None:
+        print(sanitizer.summary(), file=sys.stderr)
+        if sanitizer.findings:
+            return 1
     return 0
 
 
@@ -154,6 +175,37 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from repro.analysis import all_rules, default_config, lint_paths, render_json, render_text
+    from repro.analysis.lint import iter_python_files
+
+    if args.list_rules:
+        for rule_id, rule in sorted(all_rules().items()):
+            scope = f" [scope: {', '.join(rule.scope)}]" if rule.scope else ""
+            print(f"{rule_id:24s} {rule.description}{scope}")
+        return 0
+
+    paths = [Path(p) for p in args.paths]
+    missing = [p for p in paths if not p.exists()]
+    if missing:
+        print(f"error: no such path: {', '.join(str(p) for p in missing)}", file=sys.stderr)
+        return 2
+    config = default_config(paths)
+    if args.select:
+        config = replace(config, select=tuple(s.strip() for s in args.select.split(",") if s.strip()))
+    try:
+        findings = lint_paths(paths, config=config)
+    except KeyError as exc:
+        print(f"error: {exc.args[0]}", file=sys.stderr)
+        return 2
+    files_scanned = sum(1 for _ in iter_python_files(paths))
+    if args.format == "json":
+        print(render_json(findings, files_scanned))
+    else:
+        print(render_text(findings, files_scanned))
+    return 1 if findings else 0
+
+
 def _cmd_obs_report(args: argparse.Namespace) -> int:
     from repro.obs import load_run, render_report, report_dict
 
@@ -185,7 +237,18 @@ def build_parser() -> argparse.ArgumentParser:
         "--log-jsonl", type=Path, default=None, dest="log_jsonl",
         help="write a structured JSONL run log (see 'obs report')",
     )
+    run_p.add_argument(
+        "--sanitize", action="store_true",
+        help="run under the tensor sanitizer (NaN/Inf/dtype checks on every op; exit 1 on findings)",
+    )
     run_p.set_defaults(fn=_cmd_run)
+
+    lint_p = sub.add_parser("lint", help="static-analysis rules over source trees")
+    lint_p.add_argument("paths", nargs="*", default=["src"], help="files or directories (default: src)")
+    lint_p.add_argument("--format", choices=["text", "json"], default="text")
+    lint_p.add_argument("--select", default=None, help="comma-separated rule ids to run (default: all)")
+    lint_p.add_argument("--list-rules", action="store_true", dest="list_rules", help="print the rule catalogue")
+    lint_p.set_defaults(fn=_cmd_lint)
 
     eff_p = sub.add_parser("efficiency", help="attention time/memory comparison (Fig. 5)")
     eff_p.add_argument("--lengths", default="64,128,256,512")

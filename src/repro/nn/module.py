@@ -90,7 +90,9 @@ class Module:
             value = np.asarray(state[name])
             if value.shape != param.data.shape:
                 raise ValueError(f"shape mismatch for {name}: {value.shape} vs {param.data.shape}")
-            param.data[...] = value
+            # in-place on purpose: optimizers and modules hold references to
+            # this exact Tensor, so loading must not rebind it
+            param.data[...] = value  # repro: noqa[no-data-write]
 
     def save(self, path: str) -> None:
         """Persist parameters to an .npz file."""

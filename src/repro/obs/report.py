@@ -160,10 +160,22 @@ def render_report(run: RunRecord) -> str:
 
     lines.append("")
     if run.anomalies:
-        lines.append(f"anomalies ({len(run.anomalies)})")
-        for a in run.anomalies:
-            detail = {k: v for k, v in a.items() if k not in ("ts", "kind", "anomaly")}
-            lines.append(f"  {a.get('anomaly')}: {detail}")
+        # sanitizer findings (repro.analysis) get their own section: they
+        # carry op/stack attribution and drown out the training anomalies
+        sanitizer = [a for a in run.anomalies if str(a.get("anomaly", "")).startswith("sanitizer_")]
+        training = [a for a in run.anomalies if a not in sanitizer]
+        if training:
+            lines.append(f"anomalies ({len(training)})")
+            for a in training:
+                detail = {k: v for k, v in a.items() if k not in ("ts", "kind", "anomaly")}
+                lines.append(f"  {a.get('anomaly')}: {detail}")
+        else:
+            lines.append("anomalies: none")
+        if sanitizer:
+            lines.append(f"sanitizer findings ({len(sanitizer)})")
+            for a in sanitizer:
+                kind = str(a.get("anomaly", "")).replace("sanitizer_", "", 1)
+                lines.append(f"  [{kind}] op={a.get('op')}: {a.get('message')}")
     else:
         lines.append("anomalies: none")
     return "\n".join(lines)

@@ -14,6 +14,7 @@ from typing import Optional, Sequence, Tuple, Union
 import numpy as np
 from scipy import special as sp_special
 
+from repro.tensor import tensor as _engine
 from repro.tensor.tensor import Tensor, ensure_tensor
 
 Axis = Union[None, int, Tuple[int, ...]]
@@ -517,6 +518,10 @@ def gru_sequence(x_proj: Tensor, h0: Tensor, weight_hh: Tensor, bias_hh: Tensor)
         h = (1.0 - z) * n + z * h
         r_all[t], z_all[t], n_all[t], nh_all[t], h_all[t + 1] = r, z, n, nh, h
         out[:, t] = h
+    if _engine._SANITIZER is not None:
+        # a NaN born mid-scan is invisible in the single fused tape node;
+        # report the first offending timestep before _make files a generic one
+        _engine._SANITIZER.check_sequence("gru_sequence", out, time_axis=1)
 
     def backward(grad: np.ndarray) -> None:
         w_hh_t = w_hh.T
@@ -586,6 +591,8 @@ def lstm_sequence(x_proj: Tensor, h0: Tensor, c0: Tensor, weight_hh: Tensor, bia
         h_all[t + 1], c_all[t + 1] = h, c
         out[:, t, :hidden] = h
         out[:, t, hidden:] = c
+    if _engine._SANITIZER is not None:
+        _engine._SANITIZER.check_sequence("lstm_sequence", out, time_axis=1)
 
     def backward(grad: np.ndarray) -> None:
         w_hh_t = w_hh.T

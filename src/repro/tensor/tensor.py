@@ -25,6 +25,28 @@ _GRAD_ENABLED = True
 _TAPE_HOOK: Optional[Callable[[str], None]] = None
 _BACKWARD_HOOK: Optional[Callable[[str, float], None]] = None
 
+# Runtime sanitizer (installed by repro.analysis.sanitizer.sanitize; None =
+# zero-overhead fast path).  Checks every tape-node creation and every
+# gradient accumulation for NaN/Inf, dtype drift, and broadcast surprises.
+_SANITIZER = None
+
+
+def set_sanitizer(sanitizer):
+    """Install (or clear, with None) the engine-level runtime sanitizer.
+
+    Returns the previous sanitizer so nested ``sanitize()`` blocks can
+    restore it.
+    """
+    global _SANITIZER
+    previous = _SANITIZER
+    _SANITIZER = sanitizer
+    return previous
+
+
+def get_sanitizer():
+    """The currently installed sanitizer, or None when disabled."""
+    return _SANITIZER
+
 
 def set_profile_hooks(
     tape_hook: Optional[Callable[[str], None]] = None,
@@ -181,6 +203,10 @@ class Tensor:
             out._backward = backward
             if _TAPE_HOOK is not None:
                 _TAPE_HOOK(op)
+        if _SANITIZER is not None:
+            # check the raw op output: Tensor.__init__ silently casts to
+            # float64, which would hide dtype drift from the sanitizer
+            _SANITIZER.check_forward(op, data, parents)
         return out
 
     def _accumulate(self, grad: np.ndarray) -> None:
@@ -194,6 +220,8 @@ class Tensor:
         re-accumulation allocates and every later one is in place.
         """
         incoming = np.asarray(grad)
+        if _SANITIZER is not None:
+            _SANITIZER.check_grad(self._op or "leaf", incoming)
         g = incoming if incoming.dtype == self.data.dtype else incoming.astype(self.data.dtype)
         g = unbroadcast(g, self.data.shape)
         if self.grad is None:
@@ -238,14 +266,21 @@ class Tensor:
 
         self._accumulate(seed)
         hook = _BACKWARD_HOOK
+        sanitizer = _SANITIZER
         for node in reversed(topo):
             if node._backward is not None and node.grad is not None:
+                if sanitizer is not None:
+                    # lets the sanitizer attribute a bad gradient to the op
+                    # whose backward closure manufactured it
+                    sanitizer.current_producer = node._op
                 if hook is None:
                     node._backward(node.grad)
                 else:
                     start = perf_counter()
                     node._backward(node.grad)
                     hook(node._op, perf_counter() - start)
+        if sanitizer is not None:
+            sanitizer.current_producer = None
 
     # ------------------------------------------------------------------
     # arithmetic — implemented here, richer ops live in functional.py

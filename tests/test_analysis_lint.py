@@ -1,0 +1,222 @@
+"""Tests for the repro.analysis lint framework.
+
+Covers the engine (discovery, package-relative paths, noqa suppression,
+allowlists, rule selection, parse errors), every shipped rule against a
+fixture tree containing exactly one violation per rule, and both
+reporters including the CLI exit-code contract.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import (
+    LintConfig,
+    all_rules,
+    default_config,
+    lint_paths,
+    render_json,
+    render_text,
+    report_as_dict,
+)
+from repro.analysis.lint import PARSE_ERROR, package_relative
+from repro.cli import main
+
+# one violation per rule, keyed by rule id; paths exercise the scoped rule
+FIXTURES = {
+    "no-print": ("util.py", "def log(msg):\n    print(msg)\n"),
+    "no-data-write": ("model.py", "def poke(t):\n    t.data[0] = 1.0\n"),
+    "no-global-rng": ("sample.py", "import numpy as np\n\ndef draw():\n    return np.random.normal(size=3)\n"),
+    "no-swallowed-exception": ("io_util.py", "def load():\n    try:\n        return open('x')\n    except Exception:\n        pass\n"),
+    "no-mutable-default": ("api.py", "def fetch(cache={}):\n    return cache\n"),
+    "no-wallclock": ("core/clock.py", "import time\n\ndef stamp():\n    return time.time()\n"),
+}
+
+
+@pytest.fixture
+def fixture_tree(tmp_path):
+    for _, (rel, source) in FIXTURES.items():
+        target = tmp_path / rel
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(source)
+    return tmp_path
+
+
+class TestRulesOnFixtureTree:
+    def test_every_rule_fires_exactly_once(self, fixture_tree):
+        findings = lint_paths([fixture_tree], config=LintConfig())
+        by_rule = {f.rule_id: f for f in findings}
+        assert set(by_rule) == set(FIXTURES), (
+            f"expected one finding per rule, got {sorted(f.render() for f in findings)}"
+        )
+        assert len(findings) == len(FIXTURES)
+
+    def test_findings_carry_file_line_and_message(self, fixture_tree):
+        findings = lint_paths([fixture_tree], config=LintConfig())
+        for f in findings:
+            assert Path(f.path).exists()
+            assert f.line >= 1
+            assert f.message
+
+    def test_clean_file_yields_nothing(self, tmp_path):
+        (tmp_path / "ok.py").write_text(
+            "import numpy as np\n\ndef f(rng: np.random.Generator):\n    return rng.normal(size=2)\n"
+        )
+        assert lint_paths([tmp_path], config=LintConfig()) == []
+
+    def test_scoped_rule_ignores_files_outside_scope(self, tmp_path):
+        # same wall-clock read, but not under core//nn//tensor/
+        (tmp_path / "cli_util.py").write_text("import time\n\ndef stamp():\n    return time.time()\n")
+        assert lint_paths([tmp_path], config=LintConfig()) == []
+
+    def test_from_import_wallclock_detected(self, tmp_path):
+        target = tmp_path / "tensor" / "t.py"
+        target.parent.mkdir()
+        target.write_text("from time import time\n\ndef stamp():\n    return time()\n")
+        findings = lint_paths([tmp_path], config=LintConfig())
+        assert [f.rule_id for f in findings] == ["no-wallclock"]
+
+    def test_grad_augassign_detected(self, tmp_path):
+        (tmp_path / "m.py").write_text("def scale(p):\n    p.grad *= 0.5\n")
+        findings = lint_paths([tmp_path], config=LintConfig())
+        assert [f.rule_id for f in findings] == ["no-data-write"]
+
+    def test_seeded_generator_calls_allowed(self, tmp_path):
+        (tmp_path / "gen.py").write_text(
+            "import numpy as np\nrng = np.random.default_rng(0)\nseq = np.random.SeedSequence(1)\n"
+        )
+        assert lint_paths([tmp_path], config=LintConfig()) == []
+
+    def test_bare_except_detected_even_with_body(self, tmp_path):
+        (tmp_path / "b.py").write_text("def f():\n    try:\n        g()\n    except:\n        h()\n")
+        findings = lint_paths([tmp_path], config=LintConfig())
+        assert [f.rule_id for f in findings] == ["no-swallowed-exception"]
+
+    def test_narrow_except_with_pass_allowed(self, tmp_path):
+        (tmp_path / "n.py").write_text(
+            "def f():\n    try:\n        g()\n    except ValueError:\n        pass\n"
+        )
+        assert lint_paths([tmp_path], config=LintConfig()) == []
+
+
+class TestSuppressionAndConfig:
+    def test_inline_noqa_suppresses_named_rule(self, tmp_path):
+        (tmp_path / "s.py").write_text("def log(m):\n    print(m)  # repro: noqa[no-print]\n")
+        assert lint_paths([tmp_path], config=LintConfig()) == []
+
+    def test_inline_noqa_without_brackets_suppresses_all(self, tmp_path):
+        (tmp_path / "s.py").write_text("def f(t, m):\n    t.data = m; print(m)  # repro: noqa\n")
+        assert lint_paths([tmp_path], config=LintConfig()) == []
+
+    def test_noqa_for_other_rule_does_not_suppress(self, tmp_path):
+        (tmp_path / "s.py").write_text("def log(m):\n    print(m)  # repro: noqa[no-data-write]\n")
+        findings = lint_paths([tmp_path], config=LintConfig())
+        assert [f.rule_id for f in findings] == ["no-print"]
+
+    def test_allowlist_prefix_skips_directory(self, fixture_tree):
+        config = LintConfig(allowlists={"no-wallclock": ("core/",)})
+        findings = lint_paths([fixture_tree], config=config)
+        assert "no-wallclock" not in {f.rule_id for f in findings}
+
+    def test_select_restricts_rules(self, fixture_tree):
+        config = LintConfig(select=("no-print",))
+        findings = lint_paths([fixture_tree], config=config)
+        assert {f.rule_id for f in findings} == {"no-print"}
+
+    def test_unknown_select_raises(self, fixture_tree):
+        with pytest.raises(KeyError):
+            lint_paths([fixture_tree], config=LintConfig(select=("no-such-rule",)))
+
+    def test_parse_error_is_a_finding_not_a_crash(self, tmp_path):
+        (tmp_path / "broken.py").write_text("def f(:\n")
+        findings = lint_paths([tmp_path], config=LintConfig())
+        assert [f.rule_id for f in findings] == [PARSE_ERROR]
+
+    def test_pyproject_overrides_merge(self, tmp_path):
+        tree = tmp_path / "src"
+        tree.mkdir()
+        (tree / "noisy.py").write_text("def log(m):\n    print(m)\n")
+        (tmp_path / "pyproject.toml").write_text(
+            "[tool.repro.lint.allowlists]\n'no-print' = ['noisy.py']\n"
+        )
+        config = default_config((tree,))
+        assert lint_paths([tree], config=config) == []
+        # shipped defaults for other rules survive the merge
+        assert "optim/" in config.allowlists["no-data-write"]
+
+    def test_package_relative_normalisation(self, tmp_path):
+        nested = tmp_path / "src" / "repro" / "optim" / "x.py"
+        nested.parent.mkdir(parents=True)
+        nested.write_text("")
+        assert package_relative(nested, tmp_path / "src") == "optim/x.py"
+        plain = tmp_path / "core" / "y.py"
+        plain.parent.mkdir(parents=True)
+        plain.write_text("")
+        assert package_relative(plain, tmp_path) == "core/y.py"
+
+
+class TestReporters:
+    def test_text_report_format(self, fixture_tree):
+        findings = lint_paths([fixture_tree], config=LintConfig())
+        text = render_text(findings, files_scanned=6)
+        for f in findings:
+            assert f"{f.path}:{f.line}:{f.col}: {f.rule_id}" in text
+        assert text.endswith("6 findings in 6 files")
+
+    def test_json_report_schema(self, fixture_tree):
+        findings = lint_paths([fixture_tree], config=LintConfig())
+        payload = json.loads(render_json(findings, files_scanned=6))
+        assert payload["version"] == 1
+        assert payload["total"] == len(FIXTURES)
+        assert payload["counts"] == {rule_id: 1 for rule_id in FIXTURES}
+        sample = payload["findings"][0]
+        assert set(sample) == {"path", "line", "col", "rule_id", "message"}
+
+    def test_empty_report(self):
+        assert report_as_dict([], files_scanned=3)["total"] == 0
+        assert "0 findings" in render_text([], files_scanned=3)
+
+
+class TestRegistry:
+    def test_all_six_domain_rules_registered(self):
+        expected = set(FIXTURES)
+        assert expected <= set(all_rules())
+
+    def test_registry_returns_copy(self):
+        rules = all_rules()
+        rules.clear()
+        assert all_rules()
+
+
+class TestCLIExitCodes:
+    def test_clean_tree_exits_zero(self, tmp_path, capsys):
+        (tmp_path / "ok.py").write_text("x = 1\n")
+        assert main(["lint", str(tmp_path)]) == 0
+        assert "0 findings" in capsys.readouterr().out
+
+    def test_fixture_tree_exits_nonzero_text(self, fixture_tree, capsys):
+        assert main(["lint", str(fixture_tree)]) == 1
+        out = capsys.readouterr().out
+        for rule_id in FIXTURES:
+            assert rule_id in out
+
+    def test_fixture_tree_exits_nonzero_json(self, fixture_tree, capsys):
+        assert main(["lint", str(fixture_tree), "--format", "json"]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["total"] == len(FIXTURES)
+
+    def test_missing_path_exits_two(self, tmp_path, capsys):
+        assert main(["lint", str(tmp_path / "nope")]) == 2
+
+    def test_bad_select_exits_two(self, tmp_path, capsys):
+        (tmp_path / "ok.py").write_text("x = 1\n")
+        assert main(["lint", str(tmp_path), "--select", "no-such-rule"]) == 2
+
+    def test_list_rules(self, capsys):
+        assert main(["lint", "--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rule_id in FIXTURES:
+            assert rule_id in out

@@ -1,10 +1,13 @@
 """Tests for the command-line interface."""
 
 import json
+from pathlib import Path
 
 import pytest
 
 from repro.cli import build_parser, main
+
+SRC = str(Path(__file__).resolve().parent.parent / "src")
 
 
 class TestCLI:
@@ -76,3 +79,27 @@ class TestCLI:
     def test_parser_requires_command(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args([])
+
+
+class TestLintCommand:
+    def test_lint_src_json_smoke(self, capsys):
+        """The shipped tree is clean: exit 0 and an empty JSON report."""
+        assert main(["lint", SRC, "--format", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["version"] == 1
+        assert payload["total"] == 0
+        assert payload["files_scanned"] > 50
+
+    def test_lint_reports_violations_with_nonzero_exit(self, tmp_path, capsys):
+        (tmp_path / "bad.py").write_text("def f(cache={}):\n    print(cache)\n")
+        assert main(["lint", str(tmp_path), "--format", "json"]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["counts"] == {"no-mutable-default": 1, "no-print": 1}
+
+    def test_run_with_sanitizer_clean(self, capsys):
+        assert main(
+            ["run", "--dataset", "etth1", "--model", "gru", "--pred-len", "4", "--epochs", "1", "--sanitize"]
+        ) == 0
+        captured = capsys.readouterr()
+        assert "mse=" in captured.out
+        assert "sanitizer: clean" in captured.err

@@ -1,56 +1,53 @@
-"""Lint-style source checks enforced as tests.
+"""Tier-1 lint gate: the shipped tree passes every repro.analysis rule.
 
-Bare ``print`` calls in library code bypass the telemetry layer — all
-run output must flow through :mod:`repro.obs` sinks so it is capturable,
-structured, and silenceable.  Only the user-facing entry points
-(``cli.py``, ``perf/__main__.py``, ``__main__.py``) may print.
+Historically this file carried a single hand-rolled AST check (no bare
+``print`` outside entry points); that check — and five more — now live in
+:mod:`repro.analysis.rules`.  This is the thin wrapper that keeps the
+rules enforced as tests: the whole ``src/repro`` tree must produce zero
+findings, and the allowlists must keep naming real files (a rename must
+not silently widen a rule's blind spot).
 """
 
 from __future__ import annotations
 
-import ast
 from pathlib import Path
 
 import pytest
 
+from repro.analysis import all_rules, default_config, lint_paths, stale_allowlist_entries
+
 SRC = Path(__file__).resolve().parent.parent / "src" / "repro"
-
-# user-facing entry points whose job *is* writing to stdout
-PRINT_ALLOWED = {
-    SRC / "cli.py",
-    SRC / "perf" / "__main__.py",
-    SRC / "__main__.py",
-}
-
-
-def _print_calls(path: Path):
-    tree = ast.parse(path.read_text(), filename=str(path))
-    return [
-        node.lineno
-        for node in ast.walk(tree)
-        if isinstance(node, ast.Call)
-        and isinstance(node.func, ast.Name)
-        and node.func.id == "print"
-    ]
 
 
 @pytest.mark.lint
-def test_no_bare_print_outside_entry_points():
-    offenders = {}
-    for path in sorted(SRC.rglob("*.py")):
-        if path in PRINT_ALLOWED:
-            continue
-        lines = _print_calls(path)
-        if lines:
-            offenders[str(path.relative_to(SRC))] = lines
-    assert not offenders, (
-        f"bare print() in library code (route through repro.obs instead): {offenders}"
+def test_library_tree_has_zero_findings():
+    findings = lint_paths([SRC])
+    assert not findings, "lint findings in library code:\n" + "\n".join(
+        f.render() for f in findings
     )
 
 
 @pytest.mark.lint
-def test_entry_point_allowlist_is_current():
-    """The allowlist must name real files (catches renames silently
-    widening the lint's blind spot)."""
-    for path in PRINT_ALLOWED:
-        assert path.exists(), f"allowlisted file vanished: {path}"
+def test_allowlists_are_current():
+    """Every allowlist entry must resolve to an existing file/dir under
+    ``src/repro`` (catches renames silently widening a rule's blind spot)."""
+    stale = stale_allowlist_entries(SRC)
+    assert not stale, f"allowlisted paths vanished: {stale}"
+
+
+@pytest.mark.lint
+def test_rule_scopes_are_current():
+    """Scoped rules must point at real subpackages too."""
+    for rule_id, rule in all_rules().items():
+        for prefix in rule.scope or ():
+            assert (SRC / prefix.rstrip("/")).exists(), (
+                f"rule {rule_id} scopes a vanished path: {prefix}"
+            )
+
+
+@pytest.mark.lint
+def test_print_rule_still_guards_entry_points_only():
+    """The migrated no-print check keeps its original allowlist semantics."""
+    config = default_config((SRC,))
+    allow = set(config.allowlists["no-print"])
+    assert {"cli.py", "perf/__main__.py", "__main__.py"} <= allow

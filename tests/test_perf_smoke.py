@@ -172,6 +172,42 @@ class TestProfilerMachinery:
 
 
 @pytest.mark.perf
+class TestSanitizerZeroOverheadWhenOff:
+    """The repro.analysis sanitizer must cost nothing unless installed."""
+
+    def _work(self):
+        x = Tensor(RNG.normal(size=(8, 8)), requires_grad=True)
+        ((x @ x).relu().sum()).backward()
+
+    def test_sanitizer_hook_is_none_by_default(self):
+        from repro.tensor import tensor as tensor_mod
+
+        assert tensor_mod._SANITIZER is None
+
+    def test_disabled_mode_records_identical_tape(self):
+        from repro.analysis import sanitize
+        from repro.tensor import tensor as tensor_mod
+
+        baseline = _tape_nodes(self._work)
+        with sanitize():
+            self._work()  # checked run — same graph, hook installed
+        assert tensor_mod._SANITIZER is None, "sanitize() leaked its hook"
+        assert _tape_nodes(self._work) == baseline
+
+    def test_fused_step_graph_unchanged_after_sanitized_run(self):
+        from repro.analysis import sanitize
+
+        cell = GRUCell(6, 8, rng=np.random.default_rng(3))
+        x = Tensor(RNG.normal(size=(4, 12, 6)))
+        with F.fused_ops(True):
+            before = _tape_nodes(lambda: cell(x))
+            with sanitize():
+                cell(x)
+            after = _tape_nodes(lambda: cell(x))
+        assert before == after
+
+
+@pytest.mark.perf
 def test_bench_smoke_produces_artifact(tmp_path):
     """End-to-end micro run of the canonical benchmark (small scan, one
     repeat) — checks the artifact schema, not wall-clock claims."""
