@@ -1,0 +1,63 @@
+"""repro.ckpt — fault-tolerant checkpoint/resume for training runs.
+
+Five layers, composing into a crash-safe training loop:
+
+- :mod:`repro.ckpt.atomic` — write-temp + fsync + rename file commits
+  with SHA-256 integrity; a durable checkpoint can never be torn.
+- :mod:`repro.ckpt.codec` — versioned serialization of nested state
+  trees (arrays + scalars + RNG states) into one ``.npz`` payload.
+- :mod:`repro.ckpt.state` — capture/restore of the *complete* training
+  state: model, optimizer, scheduler, early stopping, and every RNG
+  stream (global, per-module, loader) for bit-exact resume.
+- :mod:`repro.ckpt.manager` — :class:`CheckpointManager`: manifested,
+  checksummed, pruned checkpoint directories (keep-last-k + keep-best).
+- :mod:`repro.ckpt.faults` — :func:`inject_fault`: simulated crashes at
+  step/epoch/mid-write/pre-rename boundaries, driving the recovery
+  tests and ``repro.cli run --inject-fault``.
+
+Typical use::
+
+    from repro.ckpt import CheckpointManager
+    from repro.training import Trainer
+
+    manager = CheckpointManager("runs/etth1", keep_last=3)
+    trainer.fit(train, val, checkpoint=manager, resume=True)
+    # crash at any point, rerun the same two lines: training resumes
+    # mid-schedule and converges to bit-identical weights.
+"""
+
+from repro.ckpt.atomic import ChecksumError, atomic_write_bytes, checksum, read_verified_bytes
+from repro.ckpt.codec import FORMAT_VERSION, CheckpointFormatError, decode_state, encode_state
+from repro.ckpt.faults import FaultPlan, SimulatedCrash, check, inject_fault, parse_fault
+from repro.ckpt.manager import CheckpointInfo, CheckpointManager, LoadedCheckpoint
+from repro.ckpt.state import (
+    capture_module_rngs,
+    capture_training_state,
+    named_module_rngs,
+    restore_module_rngs,
+    restore_training_state,
+)
+
+__all__ = [
+    "CheckpointFormatError",
+    "CheckpointInfo",
+    "CheckpointManager",
+    "ChecksumError",
+    "FORMAT_VERSION",
+    "FaultPlan",
+    "LoadedCheckpoint",
+    "SimulatedCrash",
+    "atomic_write_bytes",
+    "capture_module_rngs",
+    "capture_training_state",
+    "check",
+    "checksum",
+    "decode_state",
+    "encode_state",
+    "inject_fault",
+    "named_module_rngs",
+    "parse_fault",
+    "read_verified_bytes",
+    "restore_module_rngs",
+    "restore_training_state",
+]

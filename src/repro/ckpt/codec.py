@@ -1,0 +1,99 @@
+"""Checkpoint payload codec: nested state trees ↔ a single ``.npz`` blob.
+
+A *state tree* is what the training stack naturally produces — nested
+dicts and lists mixing numpy arrays (weights, Adam moments), scalars
+(counters, learning rates), strings, ``None``, and the arbitrary-
+precision ints inside numpy bit-generator states.  The codec flattens
+it into one in-memory ``.npz`` archive:
+
+- every array is stored as its own member under its slash-joined tree
+  path (dtype and shape preserved bit-exactly);
+- everything else round-trips through a JSON skeleton stored as the
+  ``__meta__`` member, with ``{"__array__": <path>}`` placeholders where
+  arrays were lifted out.
+
+Encoding to *bytes* (rather than writing a file) is deliberate: the
+atomic writer (:mod:`repro.ckpt.atomic`) owns all disk I/O, and the
+SHA-256 in the manifest is computed over exactly these bytes.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+from typing import Any, Dict
+
+import numpy as np
+
+__all__ = ["encode_state", "decode_state", "FORMAT_VERSION", "CheckpointFormatError"]
+
+#: Bump when the payload layout changes; decoders reject unknown versions.
+FORMAT_VERSION = 1
+
+_META_KEY = "__meta__"
+_ARRAY_TOKEN = "__array__"
+
+
+class CheckpointFormatError(ValueError):
+    """Payload is not a checkpoint this codec can decode."""
+
+
+def _lift_arrays(node: Any, path: str, arrays: Dict[str, np.ndarray]) -> Any:
+    """Replace arrays with placeholders, collecting them into ``arrays``."""
+    if isinstance(node, np.ndarray):
+        arrays[path] = node
+        return {_ARRAY_TOKEN: path}
+    if isinstance(node, dict):
+        for key in node:
+            if not isinstance(key, str):
+                raise TypeError(f"state keys must be str, got {type(key).__name__} at {path!r}")
+        return {key: _lift_arrays(value, f"{path}/{key}", arrays) for key, value in node.items()}
+    if isinstance(node, (list, tuple)):
+        return [_lift_arrays(value, f"{path}/{i}", arrays) for i, value in enumerate(node)]
+    if isinstance(node, (np.integer, np.bool_)):
+        return int(node)
+    if isinstance(node, np.floating):
+        return float(node)
+    if node is None or isinstance(node, (bool, int, float, str)):
+        return node
+    raise TypeError(f"cannot serialize {type(node).__name__} at {path!r}")
+
+
+def _plant_arrays(node: Any, arrays: Dict[str, np.ndarray]) -> Any:
+    """Inverse of :func:`_lift_arrays`."""
+    if isinstance(node, dict):
+        if set(node) == {_ARRAY_TOKEN}:
+            return arrays[node[_ARRAY_TOKEN]]
+        return {key: _plant_arrays(value, arrays) for key, value in node.items()}
+    if isinstance(node, list):
+        return [_plant_arrays(value, arrays) for value in node]
+    return node
+
+
+def encode_state(state: Dict) -> bytes:
+    """Serialize a state tree to ``.npz`` bytes (see module docstring)."""
+    arrays: Dict[str, np.ndarray] = {}
+    skeleton = _lift_arrays(state, "", arrays)
+    meta = {"format": FORMAT_VERSION, "state": skeleton}
+    meta_bytes = np.frombuffer(json.dumps(meta).encode("utf-8"), dtype=np.uint8)
+    buffer = io.BytesIO()
+    np.savez(buffer, **{_META_KEY: meta_bytes}, **arrays)
+    return buffer.getvalue()
+
+
+def decode_state(payload: bytes) -> Dict:
+    """Inverse of :func:`encode_state`; validates the format version."""
+    try:
+        with np.load(io.BytesIO(payload)) as archive:
+            if _META_KEY not in archive.files:
+                raise CheckpointFormatError("payload has no __meta__ member")
+            meta = json.loads(archive[_META_KEY].tobytes().decode("utf-8"))
+            arrays = {name: archive[name] for name in archive.files if name != _META_KEY}
+    except (OSError, ValueError, KeyError) as exc:
+        if isinstance(exc, CheckpointFormatError):
+            raise
+        raise CheckpointFormatError(f"payload is not a readable checkpoint: {exc}") from exc
+    version = meta.get("format")
+    if version != FORMAT_VERSION:
+        raise CheckpointFormatError(f"unsupported checkpoint format {version!r} (expected {FORMAT_VERSION})")
+    return _plant_arrays(meta["state"], arrays)

@@ -1,0 +1,127 @@
+"""Fault injection: simulated crashes at configurable training boundaries.
+
+Recovery code is only trustworthy if crashes are *rehearsed*.  This
+module lets tests (and ``repro.cli run --inject-fault``) plant a
+:class:`SimulatedCrash` at a named *injection point*:
+
+``step:N``
+    after the optimizer step of global step ``N`` (mid-epoch crash);
+``epoch:N``
+    at the end of epoch ``N``, after validation but *before* the
+    epoch-end checkpoint is written (the worst-case epoch boundary);
+``ckpt-mid-write[:K]``
+    halfway through the ``K``-th checkpoint payload write — leaves a
+    torn temp file on disk, never a torn durable checkpoint;
+``ckpt-pre-rename[:K]``
+    after the ``K``-th checkpoint temp file is fully written and fsynced
+    but before the atomic rename — the checkpoint vanishes, the previous
+    one must survive.
+
+Instrumented code calls :func:`check` at each point; the call is a
+constant-time no-op (one truthiness test on an empty list) unless a plan
+is active, so the training hot path pays nothing in production.
+
+Usage::
+
+    with inject_fault("step:7"):
+        trainer.fit(train, val, checkpoint=manager)   # raises SimulatedCrash
+
+``SimulatedCrash`` deliberately subclasses :class:`BaseException`-free
+``RuntimeError`` so ordinary ``except Exception`` cleanup still runs —
+a real SIGKILL is *harsher* than this simulation, which is exactly why
+the checkpoint writer must already be atomic at the filesystem level.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from dataclasses import dataclass, field
+from typing import Iterator, List, Optional
+
+__all__ = ["SimulatedCrash", "FaultPlan", "inject_fault", "check", "parse_fault", "active_plans"]
+
+#: Injection points that count *occurrences* rather than matching an
+#: externally supplied index.
+OCCURRENCE_POINTS = ("ckpt-mid-write", "ckpt-pre-rename")
+INDEXED_POINTS = ("step", "epoch")
+
+
+class SimulatedCrash(RuntimeError):
+    """Raised at an armed injection point to emulate a process crash."""
+
+
+@dataclass
+class FaultPlan:
+    """One armed crash: fire when ``point`` is hit with matching index."""
+
+    point: str
+    index: int = 0
+    fired: bool = False
+    _occurrences: int = field(default=0, repr=False)
+
+    def spec(self) -> str:
+        return f"{self.point}:{self.index}"
+
+
+def parse_fault(spec: str) -> FaultPlan:
+    """Parse ``"step:7"`` / ``"ckpt-mid-write"`` style specs."""
+    point, _, index_text = spec.partition(":")
+    point = point.strip()
+    if point not in OCCURRENCE_POINTS + INDEXED_POINTS:
+        raise ValueError(
+            f"unknown fault point {point!r}; choose from {sorted(OCCURRENCE_POINTS + INDEXED_POINTS)}"
+        )
+    if index_text.strip():
+        index = int(index_text)
+    elif point in INDEXED_POINTS:
+        raise ValueError(f"fault point {point!r} needs an index, e.g. {point}:3")
+    else:
+        index = 0
+    return FaultPlan(point=point, index=index)
+
+
+_ACTIVE: List[FaultPlan] = []
+
+
+def active_plans() -> List[FaultPlan]:
+    """The currently armed plans (copy)."""
+    return list(_ACTIVE)
+
+
+@contextlib.contextmanager
+def inject_fault(spec) -> Iterator[FaultPlan]:
+    """Arm one fault for the duration of the block.
+
+    ``spec`` is either a string (see :func:`parse_fault`) or a
+    :class:`FaultPlan`.  The plan object is yielded so tests can assert
+    ``plan.fired`` afterwards.
+    """
+    plan = spec if isinstance(spec, FaultPlan) else parse_fault(spec)
+    _ACTIVE.append(plan)
+    try:
+        yield plan
+    finally:
+        _ACTIVE.remove(plan)
+
+
+def check(point: str, index: Optional[int] = None) -> None:
+    """Crash if an armed plan matches this injection point.
+
+    ``index`` identifies indexed points (global step, epoch); occurrence
+    points count their own hits per plan.
+    """
+    if not _ACTIVE:
+        return
+    for plan in _ACTIVE:
+        if plan.fired or plan.point != point:
+            continue
+        if index is not None:
+            if index != plan.index:
+                continue
+        else:
+            hit = plan._occurrences
+            plan._occurrences += 1
+            if hit != plan.index:
+                continue
+        plan.fired = True
+        raise SimulatedCrash(f"injected fault at {plan.spec()}")

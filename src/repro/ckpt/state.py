@@ -1,0 +1,147 @@
+"""Capture/restore the *complete* training state of a run.
+
+Bit-exact resume needs more than model weights.  The full state of a
+training process is:
+
+- the model ``state_dict`` (every parameter array);
+- the optimizer's moments/velocities and step counter;
+- the LR scheduler's epoch counter (if any);
+- the :class:`~repro.optim.EarlyStopping` counters and best-state copy;
+- **every RNG stream**: the library-wide generator
+  (:mod:`repro.tensor.random`), the private generators modules hold for
+  dropout masks and flow noise, and the loader's shuffle generator.
+
+Module-held generators are discovered by walking ``named_modules()``
+and collecting :class:`numpy.random.Generator` attributes — the same
+convention ``Dropout`` and ``NormalizingFlow`` already follow — so new
+stochastic layers are checkpointable for free.
+
+Everything here is duck-typed (``state_dict``/``load_state_dict``), so
+this module depends on no training-layer code and ``repro.training`` can
+import it without cycles.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, Optional, Tuple
+
+import numpy as np
+
+from repro.tensor import random as _random
+
+__all__ = [
+    "named_module_rngs",
+    "capture_module_rngs",
+    "restore_module_rngs",
+    "capture_training_state",
+    "restore_training_state",
+]
+
+
+# ----------------------------------------------------------------------
+# module-held RNG streams
+# ----------------------------------------------------------------------
+def named_module_rngs(model) -> Iterator[Tuple[str, np.random.Generator]]:
+    """Yield ``(name, generator)`` for every Generator a module holds.
+
+    Names are ``<module path>.<attribute>`` with an empty root path, so
+    they are stable across runs for a fixed architecture.  Models without
+    a ``named_modules`` traversal (statistical baselines) hold no
+    checkpointable streams and yield nothing.
+    """
+    if not hasattr(model, "named_modules"):
+        return
+    for module_name, module in model.named_modules():
+        for attr, value in vars(module).items():
+            if isinstance(value, np.random.Generator):
+                name = f"{module_name}.{attr}" if module_name else attr
+                yield name, value
+
+
+def capture_module_rngs(model) -> Dict[str, Dict]:
+    """Snapshot every module-held generator's bit-generator state."""
+    return {name: _random.generator_state(gen) for name, gen in named_module_rngs(model)}
+
+
+def restore_module_rngs(model, states: Dict[str, Dict]) -> None:
+    """Restore module-held generators in place; strict on name mismatch
+    (a silently unrestored stream would break bit-exact resume)."""
+    own = dict(named_module_rngs(model))
+    missing = set(own) - set(states)
+    unexpected = set(states) - set(own)
+    if missing or unexpected:
+        raise KeyError(
+            f"module RNG mismatch: missing={sorted(missing)}, unexpected={sorted(unexpected)}"
+        )
+    for name, gen in own.items():
+        _random.restore_generator(gen, states[name])
+
+
+# ----------------------------------------------------------------------
+# whole-run snapshots
+# ----------------------------------------------------------------------
+def capture_training_state(
+    model,
+    optimizer=None,
+    scheduler=None,
+    stopper=None,
+    loader_rng_state: Optional[Dict] = None,
+    **extra,
+) -> Dict:
+    """Build the state tree the checkpoint codec serializes.
+
+    ``loader_rng_state`` is a pre-captured generator state (see
+    :func:`repro.tensor.random.generator_state`) rather than a live
+    generator: mid-epoch checkpoints must record the shuffle stream as it
+    was at *epoch start*, so a resumed iteration replays the same
+    permutation.  ``extra`` lets the caller attach progress counters and
+    history (epoch, step, loss lists) — anything the codec can encode.
+    """
+    state: Dict = {
+        "model": model.state_dict(),
+        "optimizer": None if optimizer is None else optimizer.state_dict(),
+        "scheduler": None if scheduler is None else scheduler.state_dict(),
+        "stopper": None if stopper is None else stopper.state_dict(),
+        "rng": {
+            "global": _random.get_rng_state(),
+            "modules": capture_module_rngs(model),
+            "loader": loader_rng_state,
+        },
+    }
+    state.update(extra)
+    return state
+
+
+def restore_training_state(
+    state: Dict,
+    model,
+    optimizer=None,
+    scheduler=None,
+    stopper=None,
+    loader_rng: Optional[np.random.Generator] = None,
+) -> Dict:
+    """Restore a :func:`capture_training_state` tree into live objects.
+
+    Components the caller passes as ``None`` are skipped; the (possibly
+    nested) extras that :func:`capture_training_state` attached are
+    returned so the caller can rebuild progress counters.
+    """
+    model.load_state_dict(state["model"])
+    if optimizer is not None and state.get("optimizer") is not None:
+        optimizer.load_state_dict(state["optimizer"])
+    if scheduler is not None and state.get("scheduler") is not None:
+        scheduler.load_state_dict(state["scheduler"])
+    if stopper is not None and state.get("stopper") is not None:
+        stopper.load_state_dict(state["stopper"])
+    rng = state.get("rng") or {}
+    if rng.get("global") is not None:
+        _random.set_rng_state(rng["global"])
+    if rng.get("modules") is not None:
+        restore_module_rngs(model, rng["modules"])
+    if loader_rng is not None and rng.get("loader") is not None:
+        _random.restore_generator(loader_rng, rng["loader"])
+    return {
+        key: value
+        for key, value in state.items()
+        if key not in ("model", "optimizer", "scheduler", "stopper", "rng")
+    }

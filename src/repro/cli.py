@@ -9,7 +9,9 @@ models
 run
     Train and evaluate one (dataset, model, horizon) cell
     (``--log-jsonl run.jsonl`` records structured telemetry;
-    ``--sanitize`` runs under the runtime tensor sanitizer).
+    ``--sanitize`` runs under the runtime tensor sanitizer;
+    ``--checkpoint-dir``/``--resume`` make the run fault-tolerant;
+    ``--inject-fault step:N`` simulates a crash for recovery drills).
 lint
     Run the repro.analysis static-analysis rules over source trees
     (exit 1 on findings; ``--format json`` for CI).
@@ -19,6 +21,9 @@ sweep
     Fig. 4-style sensitivity sweep over one Conformer hyper-parameter.
 obs report
     Summarize a JSONL run log (manifest, epochs, stages, anomalies).
+ckpt inspect
+    Verify a checkpoint directory: manifest rows, per-file integrity,
+    retention flags, stray temp files from crashed writes.
 """
 
 from __future__ import annotations
@@ -55,10 +60,21 @@ def _parse_seeds(text: str) -> List[int]:
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
+    from repro.ckpt import SimulatedCrash, inject_fault, parse_fault
+
     settings = active_profile()
     if args.epochs is not None:
         settings = replace(settings, max_epochs=args.epochs)
     overrides = json.loads(args.model_overrides) if args.model_overrides else None
+    if args.resume and args.checkpoint_dir is None:
+        print("error: --resume requires --checkpoint-dir", file=sys.stderr)
+        return 2
+    if args.inject_fault:
+        try:
+            parse_fault(args.inject_fault)
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
 
     def execute():
         return run_experiment(
@@ -70,18 +86,36 @@ def _cmd_run(args: argparse.Namespace) -> int:
             seeds=_parse_seeds(args.seeds),
             model_overrides=overrides,
             log_jsonl=args.log_jsonl,
+            checkpoint_dir=args.checkpoint_dir,
+            resume=args.resume,
+            checkpoint_every_steps=args.ckpt_every_steps,
         )
 
-    sanitizer = None
-    if args.sanitize:
-        from repro.analysis import sanitize
+    def execute_with_faults():
+        if not args.inject_fault:
+            return execute()
+        with inject_fault(args.inject_fault):
+            return execute()
 
-        # collect mode: a NaN step is reported (and the trainer already
-        # skips it); aborting a long run at the first finding helps nobody
-        with sanitize(raise_on_error=False) as sanitizer:
-            result = execute()
-    else:
-        result = execute()
+    sanitizer = None
+    try:
+        if args.sanitize:
+            from repro.analysis import sanitize
+
+            # collect mode: a NaN step is reported (and the trainer already
+            # skips it); aborting a long run at the first finding helps nobody
+            with sanitize(raise_on_error=False) as sanitizer:
+                result = execute_with_faults()
+        else:
+            result = execute_with_faults()
+    except SimulatedCrash as crash:
+        print(f"simulated crash: {crash}", file=sys.stderr)
+        if args.checkpoint_dir is not None:
+            print(
+                f"resume with: repro run --checkpoint-dir {args.checkpoint_dir} --resume ...",
+                file=sys.stderr,
+            )
+        return 3
     if args.json:
         print(json.dumps({
             "dataset": result.dataset,
@@ -206,6 +240,46 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     return 1 if findings else 0
 
 
+def _cmd_ckpt_inspect(args: argparse.Namespace) -> int:
+    from repro.ckpt import CheckpointManager
+
+    directory = Path(args.directory)
+    if not directory.is_dir():
+        print(f"error: no such directory: {directory}", file=sys.stderr)
+        return 2
+    # multi-seed / multi-fold runs nest one manager per subdirectory;
+    # inspect whichever levels actually hold a manifest
+    targets = [directory] if (directory / "manifest.json").exists() else sorted(
+        child for child in directory.iterdir() if (child / "manifest.json").exists()
+    )
+    if not targets:
+        print(f"error: no checkpoint manifest under {directory}", file=sys.stderr)
+        return 2
+    reports = []
+    corrupt = 0
+    for target in targets:
+        report = CheckpointManager(target).inspect()
+        reports.append(report)
+        corrupt += sum(1 for row in report["checkpoints"] if row["status"] != "ok")
+    if args.json:
+        print(json.dumps(reports if len(reports) > 1 else reports[0], indent=2))
+    else:
+        for report in reports:
+            print(f"{report['directory']}  (keep_last={report['keep_last']}, keep_best={report['keep_best']})")
+            if not report["checkpoints"]:
+                print("  (empty)")
+            for row in report["checkpoints"]:
+                metric = "-" if row["metric"] is None else f"{row['metric']:.6f}"
+                best = " best" if row["is_best"] else ""
+                print(
+                    f"  {row['file']}  epoch={row['epoch']} step={row['step']} "
+                    f"metric={metric} {row['size']}B  {row['status']}{best}"
+                )
+            for stray in report["stray_tmp_files"]:
+                print(f"  {stray}  (stray temp file from an interrupted write)")
+    return 1 if corrupt else 0
+
+
 def _cmd_obs_report(args: argparse.Namespace) -> int:
     from repro.obs import load_run, render_report, report_dict
 
@@ -240,6 +314,22 @@ def build_parser() -> argparse.ArgumentParser:
     run_p.add_argument(
         "--sanitize", action="store_true",
         help="run under the tensor sanitizer (NaN/Inf/dtype checks on every op; exit 1 on findings)",
+    )
+    run_p.add_argument(
+        "--checkpoint-dir", type=Path, default=None, dest="checkpoint_dir",
+        help="snapshot full training state here (per-seed subdirectories)",
+    )
+    run_p.add_argument(
+        "--resume", action="store_true",
+        help="continue from the latest verified checkpoint in --checkpoint-dir",
+    )
+    run_p.add_argument(
+        "--ckpt-every-steps", type=int, default=None, dest="ckpt_every_steps",
+        help="also checkpoint mid-epoch every N trained batches",
+    )
+    run_p.add_argument(
+        "--inject-fault", default=None, dest="inject_fault", metavar="POINT[:N]",
+        help="simulate a crash (step:N, epoch:N, ckpt-mid-write[:K], ckpt-pre-rename[:K]); exit 3",
     )
     run_p.set_defaults(fn=_cmd_run)
 
@@ -279,6 +369,13 @@ def build_parser() -> argparse.ArgumentParser:
     report_p.add_argument("path", type=Path, help="run log written via --log-jsonl / JSONLSink")
     report_p.add_argument("--json", action="store_true", help="machine-readable output")
     report_p.set_defaults(fn=_cmd_obs_report)
+
+    ckpt_p = sub.add_parser("ckpt", help="checkpoint tools")
+    ckpt_sub = ckpt_p.add_subparsers(dest="ckpt_command", required=True)
+    inspect_p = ckpt_sub.add_parser("inspect", help="verify a checkpoint directory")
+    inspect_p.add_argument("directory", type=Path, help="a manager directory or its parent (seed*/fold* subdirs)")
+    inspect_p.add_argument("--json", action="store_true", help="machine-readable output")
+    inspect_p.set_defaults(fn=_cmd_ckpt_inspect)
     return parser
 
 

@@ -56,6 +56,13 @@ class Module:
         for child in self._modules.values():
             yield from child.modules()
 
+    def named_modules(self, prefix: str = "") -> Iterator[Tuple[str, "Module"]]:
+        """Yield ``(dotted_name, module)`` pairs; the root is named ``""``."""
+        yield prefix, self
+        for name, module in self._modules.items():
+            child_prefix = f"{prefix}.{name}" if prefix else name
+            yield from module.named_modules(prefix=child_prefix)
+
     def children(self) -> Iterator["Module"]:
         yield from self._modules.values()
 
@@ -94,13 +101,24 @@ class Module:
             # this exact Tensor, so loading must not rebind it
             param.data[...] = value  # repro: noqa[no-data-write]
 
+    @staticmethod
+    def _npz_path(path) -> str:
+        """Normalize ``path`` to end in ``.npz``.
+
+        ``np.savez`` silently appends ``.npz`` when the suffix is absent,
+        so without normalization ``m.save("weights"); m.load("weights")``
+        would look for a file that was never written.
+        """
+        path = str(path)
+        return path if path.endswith(".npz") else path + ".npz"
+
     def save(self, path: str) -> None:
-        """Persist parameters to an .npz file."""
-        np.savez(path, **self.state_dict())
+        """Persist parameters to an .npz file (suffix added if missing)."""
+        np.savez(self._npz_path(path), **self.state_dict())
 
     def load(self, path: str) -> None:
         """Load parameters from an .npz file written by :meth:`save`."""
-        with np.load(path) as archive:
+        with np.load(self._npz_path(path)) as archive:
             self.load_state_dict({k: archive[k] for k in archive.files})
 
     # -- call protocol -----------------------------------------------------

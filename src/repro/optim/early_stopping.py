@@ -34,3 +34,28 @@ class EarlyStopping:
         if self.counter >= self.patience:
             self.should_stop = True
         return False
+
+    # -- serialization --------------------------------------------------
+    def state_dict(self) -> Dict:
+        """Serializable snapshot, including the best-state weights."""
+        return {
+            "patience": int(self.patience),
+            "min_delta": float(self.min_delta),
+            "best_loss": float(self.best_loss),
+            "counter": int(self.counter),
+            "should_stop": bool(self.should_stop),
+            "best_state": (
+                None if self.best_state is None else {k: v.copy() for k, v in self.best_state.items()}
+            ),
+        }
+
+    def load_state_dict(self, state: Dict) -> None:
+        """Restore a :meth:`state_dict` snapshot (best_state is copied,
+        so the stopper never aliases arrays owned by the checkpoint)."""
+        self.patience = int(state["patience"])
+        self.min_delta = float(state["min_delta"])
+        self.best_loss = float(state["best_loss"])
+        self.counter = int(state["counter"])
+        self.should_stop = bool(state["should_stop"])
+        best = state.get("best_state")
+        self.best_state = None if best is None else {k: np.asarray(v).copy() for k, v in best.items()}

@@ -1,8 +1,16 @@
-"""Learning-rate schedulers operating on an Optimizer's ``lr``."""
+"""Learning-rate schedulers operating on an Optimizer's ``lr``.
+
+Schedulers are checkpointable: ``state_dict()`` captures the epoch
+counter and base learning rate, and ``load_state_dict()`` restores them
+without touching ``optimizer.lr`` (the optimizer's own state_dict
+already carries the live learning rate, so a resumed schedule continues
+exactly where it stopped).  ``LambdaLR`` serializes its counter only —
+the callable itself is code and must be re-supplied on resume.
+"""
 
 from __future__ import annotations
 
-from typing import Callable
+from typing import Callable, Dict
 
 from repro.optim.optimizers import Optimizer
 
@@ -19,6 +27,18 @@ class _Scheduler:
 
     def _lr_at(self, epoch: int) -> float:
         raise NotImplementedError
+
+    # -- serialization --------------------------------------------------
+    def state_dict(self) -> Dict:
+        return {"type": type(self).__name__, "epoch": int(self.epoch), "base_lr": float(self.base_lr)}
+
+    def load_state_dict(self, state: Dict) -> None:
+        expected = type(self).__name__
+        got = state.get("type")
+        if got != expected:
+            raise ValueError(f"state_dict is for {got!r}, not {expected!r}")
+        self.epoch = int(state["epoch"])
+        self.base_lr = float(state["base_lr"])
 
 
 class StepLR(_Scheduler):

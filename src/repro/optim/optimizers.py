@@ -1,12 +1,37 @@
-"""Gradient-descent optimizers (SGD with momentum, Adam, AdamW)."""
+"""Gradient-descent optimizers (SGD with momentum, Adam, AdamW).
+
+Every optimizer is checkpointable: ``state_dict()`` returns a plain
+nested dict (scalars + lists of numpy arrays) and ``load_state_dict()``
+restores it in place, validating that the buffer layout still matches
+the parameter list.  ``repro.ckpt`` serializes these dicts verbatim, so
+a resumed run continues with bit-identical Adam moments, momentum
+velocities, and step counters.
+"""
 
 from __future__ import annotations
 
-from typing import Iterable, List
+from typing import Dict, Iterable, List
 
 import numpy as np
 
 from repro.nn.module import Parameter
+
+
+def _load_buffers(name: str, buffers: List[np.ndarray], params: List[Parameter]) -> List[np.ndarray]:
+    """Validate and copy per-parameter buffers from a state_dict."""
+    if len(buffers) != len(params):
+        raise ValueError(
+            f"optimizer state_dict has {len(buffers)} {name!r} buffers for {len(params)} parameters"
+        )
+    out = []
+    for index, (buf, p) in enumerate(zip(buffers, params)):
+        arr = np.asarray(buf, dtype=p.data.dtype)
+        if arr.shape != p.data.shape:
+            raise ValueError(
+                f"{name}[{index}] shape {arr.shape} does not match parameter shape {p.data.shape}"
+            )
+        out.append(arr.copy())
+    return out
 
 
 class Optimizer:
@@ -24,6 +49,28 @@ class Optimizer:
 
     def step(self) -> None:
         raise NotImplementedError
+
+    # -- serialization --------------------------------------------------
+    def state_dict(self) -> Dict:
+        """Serializable snapshot: ``{"type", "lr", **subclass buffers}``."""
+        state: Dict = {"type": type(self).__name__, "lr": float(self.lr)}
+        state.update(self._extra_state())
+        return state
+
+    def load_state_dict(self, state: Dict) -> None:
+        """Restore a :meth:`state_dict` snapshot in place."""
+        expected = type(self).__name__
+        got = state.get("type")
+        if got != expected:
+            raise ValueError(f"state_dict is for {got!r}, not {expected!r}")
+        self.lr = float(state["lr"])
+        self._load_extra_state(state)
+
+    def _extra_state(self) -> Dict:
+        return {}
+
+    def _load_extra_state(self, state: Dict) -> None:
+        pass
 
 
 class SGD(Optimizer):
@@ -47,6 +94,18 @@ class SGD(Optimizer):
                 vel += grad
                 grad = vel
             p.data -= self.lr * grad
+
+    def _extra_state(self) -> Dict:
+        return {
+            "momentum": float(self.momentum),
+            "weight_decay": float(self.weight_decay),
+            "velocity": [v.copy() for v in self._velocity],
+        }
+
+    def _load_extra_state(self, state: Dict) -> None:
+        self.momentum = float(state["momentum"])
+        self.weight_decay = float(state["weight_decay"])
+        self._velocity = _load_buffers("velocity", state["velocity"], self.params)
 
 
 class Adam(Optimizer):
@@ -83,6 +142,26 @@ class Adam(Optimizer):
             v *= self.beta2
             v += (1.0 - self.beta2) * grad * grad
             p.data -= self.lr * (m / bias1) / (np.sqrt(v / bias2) + self.eps)
+
+    def _extra_state(self) -> Dict:
+        return {
+            "beta1": float(self.beta1),
+            "beta2": float(self.beta2),
+            "eps": float(self.eps),
+            "weight_decay": float(self.weight_decay),
+            "step": int(self._step),
+            "m": [m.copy() for m in self._m],
+            "v": [v.copy() for v in self._v],
+        }
+
+    def _load_extra_state(self, state: Dict) -> None:
+        self.beta1 = float(state["beta1"])
+        self.beta2 = float(state["beta2"])
+        self.eps = float(state["eps"])
+        self.weight_decay = float(state["weight_decay"])
+        self._step = int(state["step"])
+        self._m = _load_buffers("m", state["m"], self.params)
+        self._v = _load_buffers("v", state["v"], self.params)
 
 
 class AdamW(Adam):

@@ -4,9 +4,17 @@ Having a single place that constructs :class:`numpy.random.Generator`
 objects makes every model, initializer, and dataset generator
 deterministic given a seed — which is what lets the benchmark harness
 average over "5 runs" reproducibly like the paper does.
+
+The stream is also *restorable*: :func:`get_rng_state` /
+:func:`set_rng_state` expose the bit-generator state as a plain nested
+dict of ints, so a checkpoint (:mod:`repro.ckpt`) can freeze the global
+stream mid-run and a resumed process continues drawing exactly where the
+crashed one stopped.
 """
 
 from __future__ import annotations
+
+from typing import Dict
 
 import numpy as np
 
@@ -30,3 +38,32 @@ def spawn_rng(seed: int | None = None) -> np.random.Generator:
     if seed is None:
         seed = int(_global_rng.integers(0, 2**63 - 1))
     return np.random.default_rng(seed)
+
+
+def get_rng_state() -> Dict:
+    """Snapshot the global generator's bit-generator state.
+
+    The returned value is a JSON-serializable nested dict (numpy encodes
+    PCG64 state as plain ints); feed it back to :func:`set_rng_state` to
+    resume the stream bit-exactly.
+    """
+    return generator_state(_global_rng)
+
+
+def set_rng_state(state: Dict) -> None:
+    """Restore the global generator from a :func:`get_rng_state` snapshot."""
+    restore_generator(_global_rng, state)
+
+
+def generator_state(generator: np.random.Generator) -> Dict:
+    """Snapshot any generator's bit-generator state (JSON-serializable)."""
+    return generator.bit_generator.state
+
+
+def restore_generator(generator: np.random.Generator, state: Dict) -> None:
+    """Restore ``generator`` in place from a :func:`generator_state` snapshot.
+
+    In-place on purpose: modules hold references to their generator
+    objects, so restoring must not rebind them.
+    """
+    generator.bit_generator.state = state

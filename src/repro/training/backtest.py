@@ -11,10 +11,12 @@ Exchange experiments stress).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Union
 
 import numpy as np
 
+from repro.ckpt import CheckpointManager
 from repro.data.datasets import TimeSeriesDataset
 from repro.data.scalers import StandardScaler
 from repro.data.windows import DataLoader, WindowedDataset
@@ -77,6 +79,9 @@ def walk_forward(
     stride: int = 4,
     seed: int = 0,
     logger: Optional[RunLogger] = None,
+    checkpoint_dir: Union[str, Path, None] = None,
+    resume: bool = False,
+    checkpoint_every_steps: Optional[int] = None,
 ) -> BacktestReport:
     """Rolling-origin evaluation of a forecaster on one dataset.
 
@@ -94,6 +99,12 @@ def walk_forward(
     logger:
         Optional :class:`repro.obs.RunLogger`; each fold is a ``fold``
         span and emits a ``fold`` event with its origin and metrics.
+    checkpoint_dir:
+        Optional directory for fault-tolerant folds: each fold trains
+        under ``<checkpoint_dir>/fold<k>/`` and, with ``resume=True``,
+        continues from its latest verified checkpoint (already-finished
+        folds restore their final weights and skip straight to
+        evaluation).
     """
     values = dataset.values
     n = len(values)
@@ -133,7 +144,15 @@ def walk_forward(
         with log.span("fold"):
             model = model_factory(dataset.n_dims, pred_len)
             trainer = Trainer(model, learning_rate=learning_rate, max_epochs=max_epochs, logger=log)
-            trainer.fit(train_loader)
+            manager = None
+            if checkpoint_dir is not None:
+                manager = CheckpointManager(Path(checkpoint_dir) / f"fold{fold_index}", logger=log)
+            trainer.fit(
+                train_loader,
+                checkpoint=manager,
+                checkpoint_every_steps=checkpoint_every_steps,
+                resume=resume and manager is not None,
+            )
             fold_metrics = trainer.evaluate(eval_loader)
         report.folds.append(BacktestFold(origin=origin, metrics=fold_metrics))
         log.event("fold", fold=fold_index, origin=origin, **fold_metrics)

@@ -21,6 +21,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Union
 import numpy as np
 
 from repro import baselines
+from repro.ckpt import CheckpointManager
 from repro.core import Conformer, ConformerConfig
 from repro.data import DataLoader, WindowedDataset, load_dataset
 from repro.data.datasets import TimeSeriesDataset
@@ -295,6 +296,9 @@ def run_experiment(
     model_overrides: Optional[dict] = None,
     logger: Optional[RunLogger] = None,
     log_jsonl: Union[str, Path, None] = None,
+    checkpoint_dir: Union[str, Path, None] = None,
+    resume: bool = False,
+    checkpoint_every_steps: Optional[int] = None,
 ) -> ExperimentResult:
     """Train and evaluate one model on one dataset at one horizon.
 
@@ -303,6 +307,14 @@ def run_experiment(
     (seed list, model, settings, git rev, numpy version) followed by
     per-stage spans, per-epoch metrics, per-seed results, and any
     anomalies.  Render it with ``python -m repro.cli obs report``.
+
+    Fault tolerance: pass ``checkpoint_dir`` to snapshot the full
+    training state under ``<checkpoint_dir>/seed<seed>/`` (per-seed
+    subdirectories, so multi-seed runs resume independently) and
+    ``resume=True`` to continue an interrupted run from its latest
+    verified checkpoint — the resumed run is bit-exact with the
+    uninterrupted one.  ``checkpoint_every_steps`` additionally
+    checkpoints mid-epoch every N trained batches.
     """
     settings = settings if settings is not None else active_profile()
     model_overrides = model_overrides or {}
@@ -342,7 +354,15 @@ def run_experiment(
                 patience=settings.patience,
                 logger=log,
             )
-            history = trainer.fit(train, val)
+            manager = None
+            if checkpoint_dir is not None:
+                manager = CheckpointManager(Path(checkpoint_dir) / f"seed{seed}", logger=log)
+            history = trainer.fit(
+                train, val,
+                checkpoint=manager,
+                checkpoint_every_steps=checkpoint_every_steps,
+                resume=resume and manager is not None,
+            )
             with log.span("evaluate"):
                 metrics = trainer.evaluate(test)
             per_seed.append(metrics)

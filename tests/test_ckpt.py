@@ -1,0 +1,552 @@
+"""repro.ckpt: codec, atomic writes, manager retention, bit-exact resume.
+
+The fault-injection *matrix* (every crash point x optimizer x model)
+lives in ``tests/test_ckpt_faults.py``; this file covers the building
+blocks plus the headline guarantee — a resumed run is bit-identical to
+an uninterrupted one, down to RNG states and loss histories.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro import cli
+from repro.ckpt import (
+    CheckpointManager,
+    ChecksumError,
+    SimulatedCrash,
+    atomic_write_bytes,
+    capture_module_rngs,
+    capture_training_state,
+    checksum,
+    decode_state,
+    encode_state,
+    inject_fault,
+    parse_fault,
+    read_verified_bytes,
+    restore_training_state,
+)
+from repro.ckpt.atomic import TMP_SUFFIX
+from repro.data.windows import DataLoader, WindowedDataset
+from repro.nn import Dropout, Linear, Module, Sequential
+from repro.optim import Adam, AdamW, EarlyStopping, SGD, StepLR
+from repro.tensor import Tensor
+from repro.tensor.random import seed_everything
+from repro.training.experiment import ExperimentSettings, build_model
+from repro.training.trainer import Trainer
+
+
+# ----------------------------------------------------------------------
+# shared fixtures: a tiny but real training setup
+# ----------------------------------------------------------------------
+SETTINGS = ExperimentSettings(input_len=16, label_len=8, max_epochs=2)
+
+
+def make_run(seed, model_name="conformer", max_epochs=2, optimizer=None, **trainer_kw):
+    """A fresh (trainer, train_loader, val_loader) triple, fully seeded."""
+    seed_everything(seed)
+    rng = np.random.default_rng(0)
+    series = rng.normal(size=(260, 3))
+    marks = rng.normal(size=(260, 4))
+    windows = WindowedDataset(series, marks, input_len=16, pred_len=4, label_len=8)
+    train = DataLoader(windows, batch_size=16, shuffle=True, rng=np.random.default_rng(7))
+    val = DataLoader(windows, batch_size=16)
+    model = build_model(model_name, 3, 3, 4, SETTINGS, seed=seed)
+    trainer = Trainer(model, max_epochs=max_epochs, patience=5, optimizer=optimizer, **trainer_kw)
+    return trainer, train, val
+
+
+def assert_states_identical(a, b):
+    assert set(a) == set(b)
+    for key in a:
+        np.testing.assert_array_equal(a[key], b[key], err_msg=key)
+
+
+# ----------------------------------------------------------------------
+# codec
+# ----------------------------------------------------------------------
+class TestCodec:
+    def test_roundtrip_preserves_arrays_and_scalars(self):
+        state = {
+            "weights": {"w": np.arange(6, dtype=np.float32).reshape(2, 3), "b": np.zeros(3)},
+            "moments": [np.ones(2), np.full((1, 2), -0.5)],
+            "step": 17,
+            "lr": 1e-4,
+            "inf": float("inf"),
+            "label": "adam",
+            "nothing": None,
+            "flag": True,
+        }
+        decoded = decode_state(encode_state(state))
+        np.testing.assert_array_equal(decoded["weights"]["w"], state["weights"]["w"])
+        assert decoded["weights"]["w"].dtype == np.float32
+        np.testing.assert_array_equal(decoded["moments"][1], state["moments"][1])
+        assert decoded["step"] == 17 and decoded["lr"] == 1e-4
+        assert decoded["inf"] == float("inf")
+        assert decoded["label"] == "adam" and decoded["nothing"] is None and decoded["flag"] is True
+
+    def test_roundtrip_preserves_rng_state_big_ints(self):
+        gen = np.random.default_rng(1234)
+        gen.normal(size=100)
+        state = gen.bit_generator.state  # PCG64 state holds 128-bit ints
+        decoded = decode_state(encode_state({"rng": state}))
+        assert decoded["rng"] == state
+
+    def test_rejects_unserializable_values(self):
+        with pytest.raises(TypeError):
+            encode_state({"bad": object()})
+        with pytest.raises(TypeError):
+            encode_state({1: "non-string key"})
+
+    def test_rejects_wrong_version_and_garbage(self):
+        from repro.ckpt.codec import CheckpointFormatError
+
+        with pytest.raises(CheckpointFormatError):
+            decode_state(b"not an npz archive")
+        payload = encode_state({"x": 1})
+        # a plain npz without the __meta__ member is not a checkpoint
+        import io
+
+        buf = io.BytesIO()
+        np.savez(buf, x=np.zeros(2))
+        with pytest.raises(CheckpointFormatError):
+            decode_state(buf.getvalue())
+
+
+# ----------------------------------------------------------------------
+# atomic writes + integrity
+# ----------------------------------------------------------------------
+class TestAtomic:
+    def test_write_then_verified_read(self, tmp_path):
+        target = tmp_path / "blob.bin"
+        digest = atomic_write_bytes(target, b"hello world")
+        assert target.read_bytes() == b"hello world"
+        assert digest == checksum(b"hello world")
+        assert read_verified_bytes(target, digest) == b"hello world"
+        assert not list(tmp_path.glob(f"*{TMP_SUFFIX}"))
+
+    def test_corruption_is_detected(self, tmp_path):
+        target = tmp_path / "blob.bin"
+        digest = atomic_write_bytes(target, b"payload")
+        target.write_bytes(b"paXload")
+        with pytest.raises(ChecksumError):
+            read_verified_bytes(target, digest)
+
+    def test_mid_write_crash_leaves_old_file_intact(self, tmp_path):
+        target = tmp_path / "blob.bin"
+        atomic_write_bytes(target, b"generation-1")
+        with inject_fault("ckpt-mid-write") as plan:
+            with pytest.raises(SimulatedCrash):
+                atomic_write_bytes(target, b"generation-2-much-longer-payload")
+        assert plan.fired
+        assert target.read_bytes() == b"generation-1"
+        strays = list(tmp_path.glob(f"*{TMP_SUFFIX}"))
+        assert len(strays) == 1  # the torn temp file, clearly marked
+        assert strays[0].read_bytes() != b"generation-2-much-longer-payload"
+
+    def test_pre_rename_crash_leaves_old_file_intact(self, tmp_path):
+        target = tmp_path / "blob.bin"
+        atomic_write_bytes(target, b"generation-1")
+        with inject_fault("ckpt-pre-rename"):
+            with pytest.raises(SimulatedCrash):
+                atomic_write_bytes(target, b"generation-2")
+        assert target.read_bytes() == b"generation-1"
+        # the new payload is fully on disk but uncommitted
+        (stray,) = list(tmp_path.glob(f"*{TMP_SUFFIX}"))
+        assert stray.read_bytes() == b"generation-2"
+
+
+class TestFaultSpecs:
+    def test_parse_indexed_and_occurrence_points(self):
+        assert parse_fault("step:7").point == "step"
+        assert parse_fault("step:7").index == 7
+        assert parse_fault("ckpt-mid-write").index == 0
+        assert parse_fault("ckpt-mid-write:2").index == 2
+
+    def test_indexed_points_require_index(self):
+        with pytest.raises(ValueError):
+            parse_fault("step")
+        with pytest.raises(ValueError):
+            parse_fault("bogus-point:1")
+
+    def test_check_is_noop_without_active_plan(self):
+        from repro.ckpt import faults
+
+        faults.check("step", 1)  # must not raise
+        assert faults.active_plans() == []
+
+
+# ----------------------------------------------------------------------
+# manager: manifest, retention, corruption fallback
+# ----------------------------------------------------------------------
+class TestManager:
+    def test_retention_keeps_last_k_plus_best(self, tmp_path):
+        manager = CheckpointManager(tmp_path, keep_last=2, keep_best=True)
+        metrics = [0.5, 0.1, 0.9, 0.7]  # best is step 2
+        for step, metric in enumerate(metrics, start=1):
+            manager.save({"x": np.full(4, step)}, epoch=step, step=step, metric=metric)
+        names = [info.file for info in manager.checkpoints()]
+        assert names == ["ckpt-0002-00000002.npz", "ckpt-0003-00000003.npz", "ckpt-0004-00000004.npz"]
+        on_disk = sorted(p.name for p in tmp_path.glob("ckpt-*.npz"))
+        assert on_disk == names
+        assert manager.best().step == 2
+        assert manager.latest().step == 4
+
+    def test_keep_last_must_be_positive(self, tmp_path):
+        with pytest.raises(ValueError):
+            CheckpointManager(tmp_path, keep_last=0)
+
+    def test_manifest_survives_reopen(self, tmp_path):
+        CheckpointManager(tmp_path).save({"x": np.ones(2)}, epoch=1, step=5, metric=0.3)
+        reopened = CheckpointManager(tmp_path)
+        loaded = reopened.load_latest()
+        assert loaded is not None
+        assert loaded.info.step == 5
+        np.testing.assert_array_equal(loaded.state["x"], np.ones(2))
+
+    def test_load_latest_skips_corrupt_and_falls_back(self, tmp_path):
+        manager = CheckpointManager(tmp_path, keep_last=3)
+        manager.save({"gen": np.array([1.0])}, epoch=1, step=1)
+        manager.save({"gen": np.array([2.0])}, epoch=2, step=2)
+        # bit-rot the newest checkpoint on disk
+        newest = manager.latest().path_in(manager.directory)
+        blob = bytearray(newest.read_bytes())
+        blob[len(blob) // 2] ^= 0xFF
+        newest.write_bytes(bytes(blob))
+        loaded = manager.load_latest()
+        assert loaded is not None
+        assert loaded.info.step == 1
+        np.testing.assert_array_equal(loaded.state["gen"], np.array([1.0]))
+
+    def test_load_latest_returns_none_when_empty(self, tmp_path):
+        assert CheckpointManager(tmp_path).load_latest() is None
+
+    def test_unlisted_files_are_never_loaded(self, tmp_path):
+        manager = CheckpointManager(tmp_path)
+        manager.save({"x": np.zeros(1)}, epoch=1, step=1)
+        # a crash leftover: file present, not in the manifest
+        (tmp_path / "ckpt-0009-00000099.npz").write_bytes(b"orphan")
+        loaded = manager.load_latest()
+        assert loaded.info.step == 1
+        with pytest.raises(FileNotFoundError):
+            manager.load("ckpt-0009-00000099.npz")
+
+    def test_inspect_reports_status_and_strays(self, tmp_path):
+        manager = CheckpointManager(tmp_path, keep_last=2)
+        manager.save({"x": np.zeros(1)}, epoch=1, step=1, metric=0.2)
+        manager.save({"x": np.ones(1)}, epoch=2, step=2, metric=0.4)
+        second = manager.checkpoints()[1].path_in(tmp_path)
+        second.write_bytes(b"rotten")
+        (tmp_path / f"ckpt-9999.npz{TMP_SUFFIX}").write_bytes(b"torn")
+        report = manager.inspect()
+        statuses = {row["file"]: row["status"] for row in report["checkpoints"]}
+        assert list(statuses.values()) == ["ok", "corrupt"]
+        best_flags = [row["is_best"] for row in report["checkpoints"]]
+        assert best_flags == [True, False]
+        assert report["stray_tmp_files"] == [f"ckpt-9999.npz{TMP_SUFFIX}"]
+
+    def test_overhead_is_measured(self, tmp_path):
+        manager = CheckpointManager(tmp_path)
+        manager.save({"x": np.zeros(64)}, epoch=1, step=1)
+        stats = manager.stats()
+        assert stats["saves"] == 1
+        assert stats["bytes_written"] > 0
+        assert stats["encode_seconds"] >= 0.0 and stats["write_seconds"] >= 0.0
+
+
+# ----------------------------------------------------------------------
+# satellite: Module.save/load round trip (suffix regression)
+# ----------------------------------------------------------------------
+class TestModuleSaveLoad:
+    def _model(self, seed=0):
+        seed_everything(seed)
+        return Sequential(Linear(4, 8), Dropout(0.1), Linear(8, 2))
+
+    def test_save_load_without_npz_suffix(self, tmp_path):
+        # regression: np.savez appends ".npz", so save("weights") used to
+        # write weights.npz while load("weights") looked for "weights"
+        model = self._model(seed=1)
+        target = tmp_path / "weights"
+        model.save(target)
+        assert (tmp_path / "weights.npz").exists()
+        other = self._model(seed=2)
+        other.load(target)
+        assert_states_identical(model.state_dict(), other.state_dict())
+
+    def test_save_load_with_explicit_suffix(self, tmp_path):
+        model = self._model(seed=3)
+        target = tmp_path / "weights.npz"
+        model.save(target)
+        assert target.exists()
+        assert not (tmp_path / "weights.npz.npz").exists()
+        other = self._model(seed=4)
+        other.load(target)
+        assert_states_identical(model.state_dict(), other.state_dict())
+
+
+# ----------------------------------------------------------------------
+# satellite: EarlyStopping isolation + counters across resume
+# ----------------------------------------------------------------------
+class TestEarlyStoppingState:
+    def test_best_state_never_aliases_live_parameters(self):
+        model = Sequential(Linear(3, 3))
+        stopper = EarlyStopping(patience=2)
+        stopper.update(1.0, state=model.state_dict())
+        snapshot = {k: v.copy() for k, v in stopper.best_state.items()}
+        # mutating the live parameters must not reach the stored best...
+        for param in model.parameters():
+            param.data[...] = 123.0
+        assert_states_identical(stopper.best_state, snapshot)
+        # ...and mutating the stored best must not reach a checkpoint copy
+        state = stopper.state_dict()
+        stopper.best_state[next(iter(stopper.best_state))][...] = -1.0
+        assert_states_identical(state["best_state"], snapshot)
+
+    def test_round_trip_preserves_counters_and_thresholds(self):
+        stopper = EarlyStopping(patience=4, min_delta=0.05)
+        stopper.update(1.0, state={"w": np.ones(2)})
+        stopper.update(0.99)  # within min_delta: counts as no improvement
+        assert stopper.counter == 1
+        restored = EarlyStopping(patience=1)  # wrong values, must be overwritten
+        restored.load_state_dict(stopper.state_dict())
+        assert restored.patience == 4
+        assert restored.min_delta == 0.05
+        assert restored.counter == 1
+        assert restored.best_loss == 1.0
+        assert not restored.should_stop
+        # the restored stopper honours min_delta exactly where it left off
+        restored.update(0.96)
+        assert restored.counter == 2
+        restored.update(0.5)
+        assert restored.counter == 0 and restored.best_loss == 0.5
+
+    def test_loaded_best_state_is_a_copy(self):
+        stopper = EarlyStopping()
+        source = {"patience": 3, "min_delta": 0.0, "best_loss": 0.5, "counter": 0,
+                  "should_stop": False, "best_state": {"w": np.zeros(3)}}
+        stopper.load_state_dict(source)
+        source["best_state"]["w"][...] = 9.0
+        np.testing.assert_array_equal(stopper.best_state["w"], np.zeros(3))
+
+
+# ----------------------------------------------------------------------
+# optimizer / scheduler state round trips
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("factory", [
+    lambda p: SGD(p, lr=0.01, momentum=0.9, weight_decay=1e-4),
+    lambda p: Adam(p, lr=1e-3, weight_decay=1e-4),
+    lambda p: AdamW(p, lr=1e-3, weight_decay=1e-2),
+], ids=["sgd", "adam", "adamw"])
+def test_optimizer_state_roundtrip_is_bit_exact(factory):
+    def step_n(optimizer, params, n, seed):
+        rng = np.random.default_rng(seed)
+        for _ in range(n):
+            for param in params:
+                param.grad = rng.normal(size=param.data.shape)
+            optimizer.step()
+
+    seed_everything(0)
+    model_a = Sequential(Linear(5, 4), Linear(4, 2))
+    opt_a = factory(model_a.parameters())
+    step_n(opt_a, model_a.parameters(), 3, seed=1)
+
+    seed_everything(0)
+    model_b = Sequential(Linear(5, 4), Linear(4, 2))
+    opt_b = factory(model_b.parameters())
+    step_n(opt_b, model_b.parameters(), 3, seed=1)
+    # round-trip b's state through the codec mid-run
+    state = decode_state(encode_state({"opt": opt_b.state_dict(), "model": model_b.state_dict()}))
+    model_b.load_state_dict(state["model"])
+    opt_b.load_state_dict(state["opt"])
+
+    step_n(opt_a, model_a.parameters(), 2, seed=2)
+    step_n(opt_b, model_b.parameters(), 2, seed=2)
+    assert_states_identical(model_a.state_dict(), model_b.state_dict())
+
+
+def test_optimizer_rejects_mismatched_type_and_shapes():
+    model = Sequential(Linear(3, 2))
+    adam = Adam(model.parameters())
+    sgd = SGD(model.parameters())
+    with pytest.raises(ValueError):
+        sgd.load_state_dict(adam.state_dict())
+    other = Adam(Sequential(Linear(5, 5)).parameters())
+    with pytest.raises(ValueError):
+        other.load_state_dict(adam.state_dict())
+
+
+def test_scheduler_state_roundtrip():
+    model = Sequential(Linear(2, 2))
+    opt = Adam(model.parameters(), lr=0.1)
+    sched = StepLR(opt, step_size=2, gamma=0.5)
+    sched.step()
+    sched.step()
+    sched.step()
+    state = sched.state_dict()
+    opt2 = Adam(Sequential(Linear(2, 2)).parameters(), lr=0.1)
+    sched2 = StepLR(opt2, step_size=2, gamma=0.5)
+    sched2.load_state_dict(state)
+    opt2.load_state_dict(opt.state_dict())
+    sched.step()
+    sched2.step()
+    assert opt.lr == opt2.lr
+    assert sched2.epoch == sched.epoch
+
+
+# ----------------------------------------------------------------------
+# whole-state capture/restore
+# ----------------------------------------------------------------------
+def test_capture_restores_every_rng_stream(tmp_path):
+    trainer, train, val = make_run(11)
+    module_rngs = capture_module_rngs(trainer.model)
+    assert module_rngs, "conformer must expose dropout/flow generators"
+    state = capture_training_state(trainer.model, trainer.optimizer, progress={"global_step": 3})
+    decoded = decode_state(encode_state(state))
+
+    # drain every stream, then restore and check they rewind exactly
+    from repro.ckpt.state import named_module_rngs
+    from repro.tensor.random import default_rng
+
+    default_rng().normal(size=10)
+    for _, gen in named_module_rngs(trainer.model):
+        gen.normal(size=10)
+    extras = restore_training_state(decoded, trainer.model, trainer.optimizer)
+    assert extras == {"progress": {"global_step": 3}}
+    assert capture_module_rngs(trainer.model) == state["rng"]["modules"]
+
+
+def test_restore_is_strict_about_module_rng_names():
+    trainer, _, _ = make_run(1, model_name="gru")
+    state = capture_training_state(trainer.model)
+    state["rng"]["modules"]["phantom.rng"] = dict(next(iter(state["rng"]["modules"].values())))
+    with pytest.raises(KeyError):
+        restore_training_state(state, trainer.model)
+
+
+# ----------------------------------------------------------------------
+# the headline guarantee: resume == uninterrupted, bit for bit
+# ----------------------------------------------------------------------
+class TestBitExactResume:
+    def _uninterrupted(self, seed=123):
+        trainer, train, val = make_run(seed)
+        history = trainer.fit(train, val)
+        return trainer.model.state_dict(), history
+
+    def test_resume_mid_epoch_matches_uninterrupted(self, tmp_path):
+        baseline_weights, baseline_history = self._uninterrupted()
+
+        trainer, train, val = make_run(123)
+        manager = CheckpointManager(tmp_path, keep_last=3)
+        with inject_fault("step:12"):
+            with pytest.raises(SimulatedCrash):
+                trainer.fit(train, val, checkpoint=manager, checkpoint_every_steps=5)
+        assert manager.latest().step == 10  # mid-epoch checkpoint survived
+
+        # a *different* seed proves restore overwrites every stream
+        resumed, train2, val2 = make_run(999)
+        history = resumed.fit(
+            train2, val2,
+            checkpoint=CheckpointManager(tmp_path), checkpoint_every_steps=5, resume=True,
+        )
+        assert history.resumed_at_step == 10
+        assert_states_identical(baseline_weights, resumed.model.state_dict())
+        assert history.train_loss == baseline_history.train_loss
+        assert history.val_loss == baseline_history.val_loss
+        assert history.epochs_run == baseline_history.epochs_run
+
+    def test_resume_from_epoch_boundary_matches_uninterrupted(self, tmp_path):
+        baseline_weights, baseline_history = self._uninterrupted()
+
+        trainer, train, val = make_run(123)
+        manager = CheckpointManager(tmp_path)
+        with inject_fault("step:18"):  # inside epoch 1; last save is epoch 0's end
+            with pytest.raises(SimulatedCrash):
+                trainer.fit(train, val, checkpoint=manager)
+
+        resumed, train2, val2 = make_run(999)
+        history = resumed.fit(train2, val2, checkpoint=CheckpointManager(tmp_path), resume=True)
+        assert_states_identical(baseline_weights, resumed.model.state_dict())
+        assert history.val_loss == baseline_history.val_loss
+
+    def test_resume_of_finished_run_is_idempotent(self, tmp_path):
+        trainer, train, val = make_run(42)
+        manager = CheckpointManager(tmp_path)
+        trainer.fit(train, val, checkpoint=manager)
+        final = trainer.model.state_dict()
+
+        again, train2, val2 = make_run(7)
+        history = again.fit(train2, val2, checkpoint=CheckpointManager(tmp_path), resume=True)
+        assert_states_identical(final, again.model.state_dict())
+        assert history.epochs_run == SETTINGS.max_epochs
+
+    def test_resume_requires_manager(self):
+        trainer, train, val = make_run(0, model_name="dlinear")
+        with pytest.raises(ValueError):
+            trainer.fit(train, val, resume=True)
+
+    def test_resume_with_empty_directory_is_a_fresh_start(self, tmp_path):
+        trainer, train, val = make_run(5, model_name="dlinear", max_epochs=1)
+        history = trainer.fit(train, val, checkpoint=CheckpointManager(tmp_path), resume=True)
+        assert history.resumed_at_step is None
+        assert history.epochs_run == 1
+
+
+# ----------------------------------------------------------------------
+# CLI: kill-and-resume drill + ckpt inspect
+# ----------------------------------------------------------------------
+class TestCli:
+    RUN_ARGS = ["run", "--dataset", "etth1", "--model", "dlinear",
+                "--pred-len", "8", "--epochs", "2", "--seeds", "0"]
+
+    def test_killed_run_resumes_to_identical_result(self, tmp_path, capsys):
+        ckpt_dir = tmp_path / "ckpts"
+        code = cli.main(self.RUN_ARGS + ["--json"])
+        assert code == 0
+        baseline = json.loads(capsys.readouterr().out)
+
+        code = cli.main(self.RUN_ARGS + [
+            "--checkpoint-dir", str(ckpt_dir), "--ckpt-every-steps", "2",
+            "--inject-fault", "step:3",
+        ])
+        captured = capsys.readouterr()
+        assert code == 3
+        assert "simulated crash" in captured.err
+        assert (ckpt_dir / "seed0" / "manifest.json").exists()
+
+        code = cli.main(self.RUN_ARGS + [
+            "--checkpoint-dir", str(ckpt_dir), "--ckpt-every-steps", "2", "--resume", "--json",
+        ])
+        assert code == 0
+        resumed = json.loads(capsys.readouterr().out)
+        assert resumed == baseline
+
+    def test_inspect_text_and_json(self, tmp_path, capsys):
+        manager = CheckpointManager(tmp_path / "seed0")
+        manager.save({"x": np.zeros(2)}, epoch=1, step=4, metric=0.25)
+        # parent directory: finds per-seed subdirectories
+        assert cli.main(["ckpt", "inspect", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "ckpt-0001-00000004.npz" in out and "ok" in out
+        assert cli.main(["ckpt", "inspect", str(tmp_path / "seed0"), "--json"]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["checkpoints"][0]["status"] == "ok"
+
+    def test_inspect_flags_corruption_with_exit_code(self, tmp_path, capsys):
+        manager = CheckpointManager(tmp_path)
+        path = manager.save({"x": np.zeros(2)}, epoch=1, step=1)
+        path.write_bytes(b"bit rot")
+        assert cli.main(["ckpt", "inspect", str(tmp_path)]) == 1
+        assert "corrupt" in capsys.readouterr().out
+
+    def test_inspect_errors_on_missing_or_empty_dirs(self, tmp_path, capsys):
+        assert cli.main(["ckpt", "inspect", str(tmp_path / "nope")]) == 2
+        assert cli.main(["ckpt", "inspect", str(tmp_path)]) == 2
+        capsys.readouterr()
+
+    def test_bad_fault_spec_and_bare_resume_exit_2(self, tmp_path, capsys):
+        assert cli.main(self.RUN_ARGS + ["--inject-fault", "bogus:1"]) == 2
+        assert cli.main(self.RUN_ARGS + ["--resume"]) == 2
+        capsys.readouterr()

@@ -1,0 +1,220 @@
+"""Crash-injection matrix: every injection point x optimizer x model.
+
+Rehearses the full recovery story: a run is killed at each supported
+fault point (mid-epoch step, epoch boundary, mid-checkpoint-write,
+post-write-pre-rename), then resumed from whatever survived on disk —
+and must converge to weights bit-identical to an uninterrupted run.
+
+The matrix covers Conformer (the paper model, with dropout + flow RNG
+streams) and a GRU baseline, under SGD(momentum), Adam, and AdamW.
+Baselines are computed once per (model, optimizer) pair and shared
+across fault points.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.ckpt import CheckpointManager, SimulatedCrash, inject_fault
+from repro.ckpt.atomic import TMP_SUFFIX
+from repro.data.windows import DataLoader, WindowedDataset
+from repro.optim import SGD, Adam, AdamW, StepLR
+from repro.tensor.random import seed_everything
+from repro.training.experiment import ExperimentSettings, build_model
+from repro.training.trainer import Trainer
+
+pytestmark = pytest.mark.ckpt
+
+SETTINGS = ExperimentSettings(input_len=16, label_len=8, max_epochs=2)
+SEED = 123
+
+OPTIMIZERS = {
+    "sgd": lambda params, lr: SGD(params, lr=lr, momentum=0.9),
+    "adam": lambda params, lr: Adam(params, lr=lr),
+    "adamw": lambda params, lr: AdamW(params, lr=lr, weight_decay=1e-2),
+}
+
+MODELS = ("conformer", "gru")
+
+# With stride 4 the loaders hold 4 batches/epoch -> 8 global steps over 2
+# epochs; checkpoint_every_steps=2 saves at steps 2, 4, 6, 8 plus the two
+# epoch boundaries.  Atomic writes alternate payload/manifest, so
+# occurrence 2 of the write-path faults lands inside the *second*
+# checkpoint file (the first must survive).
+CKPT_EVERY = 2
+FAULTS = (
+    "step:3",             # mid-epoch, one step past a checkpoint
+    "step:6",             # mid-epoch of the second epoch
+    "epoch:0",            # epoch boundary, before its epoch-end save
+    "epoch:1",            # final epoch boundary
+    "ckpt-mid-write:2",   # torn write of the second checkpoint payload
+    "ckpt-pre-rename:2",  # second checkpoint fsynced but never committed
+)
+
+
+def make_run(seed, model_name, optimizer_name, scheduler=None):
+    seed_everything(seed)
+    rng = np.random.default_rng(0)
+    series = rng.normal(size=(260, 3))
+    marks = rng.normal(size=(260, 4))
+    windows = WindowedDataset(series, marks, input_len=16, pred_len=4, label_len=8, stride=4)
+    train = DataLoader(windows, batch_size=16, shuffle=True, rng=np.random.default_rng(7))
+    val = DataLoader(windows, batch_size=16)
+    model = build_model(model_name, 3, 3, 4, SETTINGS, seed=seed)
+    trainer = Trainer(
+        model, max_epochs=2, patience=5,
+        optimizer=OPTIMIZERS[optimizer_name], scheduler=scheduler,
+    )
+    return trainer, train, val
+
+
+_BASELINES = {}
+
+
+def baseline(model_name, optimizer_name):
+    """Final weights + history of the uninterrupted run (cached)."""
+    key = (model_name, optimizer_name)
+    if key not in _BASELINES:
+        trainer, train, val = make_run(SEED, model_name, optimizer_name)
+        history = trainer.fit(train, val)
+        _BASELINES[key] = (trainer.model.state_dict(), history)
+    return _BASELINES[key]
+
+
+def assert_states_identical(a, b):
+    assert set(a) == set(b)
+    for key in a:
+        np.testing.assert_array_equal(a[key], b[key], err_msg=key)
+
+
+@pytest.mark.parametrize("model_name", MODELS)
+@pytest.mark.parametrize("optimizer_name", sorted(OPTIMIZERS))
+@pytest.mark.parametrize("fault", FAULTS)
+def test_crash_then_resume_is_bit_exact(tmp_path, model_name, optimizer_name, fault):
+    expected_weights, expected_history = baseline(model_name, optimizer_name)
+
+    trainer, train, val = make_run(SEED, model_name, optimizer_name)
+    manager = CheckpointManager(tmp_path, keep_last=10)
+    with inject_fault(fault) as plan:
+        with pytest.raises(SimulatedCrash):
+            trainer.fit(train, val, checkpoint=manager, checkpoint_every_steps=CKPT_EVERY)
+    assert plan.fired
+
+    # whatever the crash timing, something durable and verifiable survives
+    survivor = CheckpointManager(tmp_path)
+    loaded = survivor.load_latest()
+    assert loaded is not None, f"no durable checkpoint survived {fault}"
+    if fault.startswith("ckpt-"):
+        # the torn/uncommitted second checkpoint: first one is the survivor
+        assert loaded.info.step == CKPT_EVERY
+        strays = list(tmp_path.glob(f"*{TMP_SUFFIX}"))
+        assert strays, "crashed write should leave a stray temp file"
+
+    # resume under a *different* seed: every array and RNG stream must
+    # come from the checkpoint, not from fresh initialization
+    resumed, train2, val2 = make_run(SEED + 999, model_name, optimizer_name)
+    history = resumed.fit(
+        train2, val2,
+        checkpoint=CheckpointManager(tmp_path), checkpoint_every_steps=CKPT_EVERY, resume=True,
+    )
+    assert_states_identical(expected_weights, resumed.model.state_dict())
+    assert history.train_loss == expected_history.train_loss
+    assert history.val_loss == expected_history.val_loss
+    assert history.epochs_run == expected_history.epochs_run
+    # stray temp files from the crash are swept by the next save
+    assert not list(tmp_path.glob(f"*{TMP_SUFFIX}"))
+
+
+def test_torn_durable_checkpoint_is_skipped_not_loaded(tmp_path):
+    """Even if a durable file *were* torn (bit rot, partial copy), the
+    checksum catches it and recovery falls back to the previous one."""
+    expected_weights, _ = baseline("gru", "adam")
+
+    trainer, train, val = make_run(SEED, "gru", "adam")
+    manager = CheckpointManager(tmp_path, keep_last=10)
+    with inject_fault("step:5"):
+        with pytest.raises(SimulatedCrash):
+            trainer.fit(train, val, checkpoint=manager, checkpoint_every_steps=CKPT_EVERY)
+
+    # truncate the newest checkpoint to simulate a torn durable file
+    rows = CheckpointManager(tmp_path).checkpoints()
+    assert len(rows) >= 2
+    newest = rows[-1].path_in(tmp_path)
+    newest.write_bytes(newest.read_bytes()[: rows[-1].size // 2])
+
+    survivor = CheckpointManager(tmp_path)
+    loaded = survivor.load_latest()
+    assert loaded is not None
+    assert loaded.info.file == rows[-2].file  # fell back past the torn file
+
+    resumed, train2, val2 = make_run(SEED + 999, "gru", "adam")
+    resumed.fit(train2, val2, checkpoint=survivor, checkpoint_every_steps=CKPT_EVERY, resume=True)
+    assert_states_identical(expected_weights, resumed.model.state_dict())
+
+
+def test_crash_during_manifest_write_leaves_previous_state(tmp_path):
+    """Occurrence 3 of the write path is the second save's *manifest*
+    commit: the checkpoint file exists on disk but is unlisted, so
+    recovery uses the previous manifest generation."""
+    trainer, train, val = make_run(SEED, "gru", "adam")
+    manager = CheckpointManager(tmp_path, keep_last=10)
+    with inject_fault("ckpt-mid-write:3"):
+        with pytest.raises(SimulatedCrash):
+            trainer.fit(train, val, checkpoint=manager, checkpoint_every_steps=CKPT_EVERY)
+
+    on_disk = sorted(p.name for p in tmp_path.glob("ckpt-*.npz"))
+    survivor = CheckpointManager(tmp_path)
+    listed = [row.file for row in survivor.checkpoints()]
+    assert len(on_disk) == 2 and len(listed) == 1  # orphan file, old manifest
+    loaded = survivor.load_latest()
+    assert loaded is not None and loaded.info.file == listed[0]
+
+
+def test_repeated_crashes_make_progress(tmp_path):
+    """Crash -> resume -> crash later -> resume must still reach the
+    bit-exact final state (multi-generation recovery)."""
+    expected_weights, expected_history = baseline("conformer", "adam")
+
+    trainer, train, val = make_run(SEED, "conformer", "adam")
+    with inject_fault("step:3"):
+        with pytest.raises(SimulatedCrash):
+            trainer.fit(train, val, checkpoint=CheckpointManager(tmp_path, keep_last=10),
+                        checkpoint_every_steps=CKPT_EVERY)
+
+    second, train2, val2 = make_run(SEED + 1, "conformer", "adam")
+    with inject_fault("step:7"):
+        with pytest.raises(SimulatedCrash):
+            second.fit(train2, val2, checkpoint=CheckpointManager(tmp_path, keep_last=10),
+                       checkpoint_every_steps=CKPT_EVERY, resume=True)
+
+    final, train3, val3 = make_run(SEED + 2, "conformer", "adam")
+    history = final.fit(train3, val3, checkpoint=CheckpointManager(tmp_path, keep_last=10),
+                        checkpoint_every_steps=CKPT_EVERY, resume=True)
+    assert_states_identical(expected_weights, final.model.state_dict())
+    assert history.val_loss == expected_history.val_loss
+
+
+def test_scheduler_state_survives_crash_and_resume(tmp_path):
+    """LR schedule position is part of the checkpoint: a resumed run ends
+    at the same learning rate and the same weights."""
+    scheduler = lambda opt: StepLR(opt, step_size=1, gamma=0.5)
+
+    trainer, train, val = make_run(SEED, "gru", "adam", scheduler=scheduler)
+    expected_history = trainer.fit(train, val)
+    expected_weights = trainer.model.state_dict()
+    expected_lr = trainer.optimizer.lr
+
+    crashed, train2, val2 = make_run(SEED, "gru", "adam", scheduler=scheduler)
+    with inject_fault("step:6"):
+        with pytest.raises(SimulatedCrash):
+            crashed.fit(train2, val2, checkpoint=CheckpointManager(tmp_path),
+                        checkpoint_every_steps=CKPT_EVERY)
+
+    resumed, train3, val3 = make_run(SEED + 999, "gru", "adam", scheduler=scheduler)
+    history = resumed.fit(train3, val3, checkpoint=CheckpointManager(tmp_path),
+                          checkpoint_every_steps=CKPT_EVERY, resume=True)
+    assert resumed.optimizer.lr == expected_lr
+    assert resumed.scheduler.epoch == trainer.scheduler.epoch
+    assert_states_identical(expected_weights, resumed.model.state_dict())
+    assert history.val_loss == expected_history.val_loss
