@@ -1,10 +1,15 @@
-"""Perf regression guard for the fused autodiff kernels.
+"""Perf regression guards for the fused autodiff kernels and the
+tape-free inference fast path.
 
 Runs the canonical GRU-heavy Conformer training-step benchmark
 (:mod:`repro.perf.bench`) with fused kernels on and off, asserts the
 fused path keeps its >= 2x wall-clock advantage and its tape-node
 reduction, and writes ``BENCH_autodiff.json`` at the repo root so the
-perf trajectory is a tracked artifact.
+perf trajectory is a tracked artifact.  The inference benchmark
+(:mod:`repro.perf.bench_inference`) does the same for the forward-only
+prediction pass: ``inference_mode`` + float32 must stay >= 3x faster
+than the seed eager float64 path, and ``BENCH_inference.json`` is the
+tracked artifact.
 """
 
 from __future__ import annotations
@@ -14,6 +19,10 @@ from pathlib import Path
 import pytest
 
 from repro.perf.bench import BENCH_FILENAME, run_autodiff_benchmark, write_bench_json
+from repro.perf.bench_inference import (
+    BENCH_INFERENCE_FILENAME,
+    run_inference_benchmark,
+)
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 
@@ -36,3 +45,28 @@ def test_fused_training_step_speedup():
     # the fused kernels actually carry the recurrent path
     fused_ops_seen = {row["op"] for row in fused["top_ops"]}
     assert "gru_sequence" in fused_ops_seen
+
+
+@pytest.mark.perf
+@pytest.mark.inference
+def test_inference_fast_path_speedup():
+    from repro.perf.bench_inference import write_bench_json as write_inference_json
+
+    result = run_inference_benchmark(repeats=10, warmup=2)
+    path = write_inference_json(result, REPO_ROOT / BENCH_INFERENCE_FILENAME)
+    assert path.exists()
+
+    for name, entry in result["models"].items():
+        # the headline claim (ISSUE 6): inference_mode + float32 at least
+        # 3x cheaper than the seed eager float64 forward (target 5x)
+        assert entry["speedup"] >= 3.0, f"{name} fast-path speedup regressed: {entry['speedup']:.2f}x"
+        # tape-freedom is absolute, not approximate
+        assert entry["fast_path"]["tape_nodes_per_forward"] == 0
+        assert entry["no_grad"]["tape_nodes_per_forward"] == 0
+        assert entry["eager"]["tape_nodes_per_forward"] > 0
+        # float32 stays within the documented agreement envelope
+        assert entry["fast_path"]["prediction_dtype"] == "float32"
+        assert entry["float32_max_abs_diff"] < 1e-4
+    # scratch actually got recycled: hits dominate misses across the run
+    assert result["arena"]["hits"] > result["arena"]["misses"]
+    assert result["plan_cache"]["hits"] > result["plan_cache"]["misses"]

@@ -26,6 +26,10 @@ The rules encode this repo's correctness invariants:
     Wall-clock reads inside the numeric core (``core/``, ``nn/``,
     ``tensor/``) make forward/backward passes nondeterministic;
     monotonic timers for profiling hooks are fine.
+``no-float64-literal``
+    Hard-coded ``np.float64`` in ``nn/``/``core/`` pins arrays to double
+    precision and silently defeats the float32 inference fast path — take
+    the dtype from the input or :func:`repro.tensor.get_default_dtype`.
 """
 
 from __future__ import annotations
@@ -260,3 +264,37 @@ class NoWallclock(Rule):
                     yield self.finding(
                         ctx, node, f"datetime.{func.attr}() reads the wall clock; numeric code must be deterministic"
                     )
+
+
+@register
+class NoFloat64Literal(Rule):
+    id = "no-float64-literal"
+    description = "hard-coded np.float64 in nn//core/ — defeats the float32 compute mode"
+    scope = ("nn/", "core/")
+
+    @staticmethod
+    def _is_np_float64(node: ast.expr) -> bool:
+        return (
+            isinstance(node, ast.Attribute)
+            and node.attr == "float64"
+            and isinstance(node.value, ast.Name)
+            and node.value.id in ("np", "numpy")
+        )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Call):
+                if self._is_np_float64(node.func):
+                    yield self.finding(
+                        ctx, node,
+                        "np.float64(...) forces double precision; derive the dtype from "
+                        "the input or repro.tensor.get_default_dtype()",
+                    )
+                    continue
+                for kw in node.keywords:
+                    if kw.arg == "dtype" and self._is_np_float64(kw.value):
+                        yield self.finding(
+                            ctx, kw.value,
+                            "dtype=np.float64 pins this array to double precision; derive the "
+                            "dtype from the input or repro.tensor.get_default_dtype()",
+                        )

@@ -4,7 +4,9 @@ When installed (via :func:`sanitize` or ``repro.cli run --sanitize``), the
 engine calls back here at two points:
 
 - **tape-node creation** (``Tensor._make``): every op output is checked
-  for NaN/Inf, dtype drift away from the engine's float64 contract, and
+  for NaN/Inf, dtype drift away from the engine's active compute-dtype
+  contract (float64 by default, float32 under
+  ``repro.tensor.compute_dtype(np.float32)``), and
   double-broadcast surprises — an elementwise binary op where *neither*
   operand has the output shape, i.e. the classic ``(n,1) + (1,n)`` outer
   blow-up that silently manufactures an (n,n) tensor;
@@ -78,7 +80,10 @@ class TensorSanitizer:
         Toggle the dtype-drift and double-broadcast checks (the
         non-finite checks are always on — they are the point).
     expected_dtype:
-        The engine-wide dtype contract (float64).
+        The dtype contract to enforce.  None (the default) tracks the
+        engine's active compute dtype — float64 normally, float32 inside
+        a ``repro.tensor.compute_dtype(np.float32)`` block — so the drift
+        check follows the mode instead of hard-coding float64.
     """
 
     def __init__(
@@ -87,7 +92,7 @@ class TensorSanitizer:
         raise_on_error: bool = True,
         check_dtype: bool = True,
         check_broadcast: bool = True,
-        expected_dtype=np.float64,
+        expected_dtype=None,
         max_findings: int = 100,
         stack_limit: int = 12,
     ) -> None:
@@ -95,7 +100,7 @@ class TensorSanitizer:
         self.raise_on_error = raise_on_error
         self.check_dtype = check_dtype
         self.check_broadcast = check_broadcast
-        self.expected_dtype = np.dtype(expected_dtype)
+        self._expected_dtype = None if expected_dtype is None else np.dtype(expected_dtype)
         self.max_findings = max_findings
         self.stack_limit = stack_limit
         self.findings: List[SanitizerFinding] = []
@@ -107,6 +112,14 @@ class TensorSanitizer:
         # op whose backward closure is currently running (set by the
         # engine's backward loop) — attributes bad gradients to their maker
         self.current_producer: Optional[str] = None
+
+    @property
+    def expected_dtype(self) -> np.dtype:
+        """The enforced dtype: pinned at construction, or the engine's
+        current compute dtype when constructed with ``expected_dtype=None``."""
+        if self._expected_dtype is not None:
+            return self._expected_dtype
+        return _engine.get_default_dtype()
 
     # ------------------------------------------------------------------
     # engine hooks

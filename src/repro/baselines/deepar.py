@@ -16,7 +16,7 @@ import numpy as np
 
 from repro.baselines.base import ForecastModel
 from repro.nn import GRU, Linear
-from repro.tensor import Tensor, functional as F, no_grad
+from repro.tensor import Tensor, functional as F, inference_mode
 from repro.tensor.random import spawn_rng
 
 
@@ -96,7 +96,7 @@ class DeepAR(ForecastModel):
         self.eval()
         paths = []
         try:
-            with no_grad():
+            with inference_mode():
                 context = F.concat([x_enc, x_mark_enc], axis=-1)
                 _, base_states = self.rnn(context)
                 future_marks = y_mark_dec[:, label_len:, :]

@@ -144,6 +144,36 @@ def _cmd_efficiency(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench(args: argparse.Namespace) -> int:
+    if args.inference:
+        from repro.perf.bench_inference import (
+            BENCH_INFERENCE_FILENAME,
+            format_result,
+            run_inference_benchmark,
+            write_bench_json,
+        )
+
+        repeats, warmup = (2, 1) if args.smoke else (args.repeats, args.warmup)
+        result = run_inference_benchmark(repeats=repeats, warmup=warmup)
+        default_name = BENCH_INFERENCE_FILENAME
+    else:
+        from repro.perf.bench import (
+            BENCH_FILENAME,
+            format_result,
+            run_autodiff_benchmark,
+            write_bench_json,
+        )
+
+        repeats, warmup = (1, 0) if args.smoke else (args.repeats, args.warmup)
+        result = run_autodiff_benchmark(repeats=repeats, warmup=warmup)
+        default_name = BENCH_FILENAME
+    print(format_result(result))
+    if not args.no_json:
+        path = write_bench_json(result, args.json if args.json else Path(default_name))
+        print(f"[saved to {path}]")
+    return 0
+
+
 def _cmd_diagnose(args: argparse.Namespace) -> int:
     from repro.data.diagnostics import diagnose
 
@@ -339,6 +369,15 @@ def build_parser() -> argparse.ArgumentParser:
     lint_p.add_argument("--select", default=None, help="comma-separated rule ids to run (default: all)")
     lint_p.add_argument("--list-rules", action="store_true", dest="list_rules", help="print the rule catalogue")
     lint_p.set_defaults(fn=_cmd_lint)
+
+    bench_p = sub.add_parser("bench", help="performance benchmarks (training step / inference forward)")
+    bench_p.add_argument("--inference", action="store_true", help="forward-only inference benchmark (BENCH_inference.json)")
+    bench_p.add_argument("--smoke", action="store_true", help="minimal repeats — verify the harness, not the numbers")
+    bench_p.add_argument("--repeats", type=int, default=10, help="timed passes per arm (default 10)")
+    bench_p.add_argument("--warmup", type=int, default=2, help="untimed warmup passes (default 2)")
+    bench_p.add_argument("--json", type=Path, default=None, help="artifact path (default ./BENCH_*.json)")
+    bench_p.add_argument("--no-json", action="store_true", help="print only, do not write the artifact")
+    bench_p.set_defaults(fn=_cmd_bench)
 
     eff_p = sub.add_parser("efficiency", help="attention time/memory comparison (Fig. 5)")
     eff_p.add_argument("--lengths", default="64,128,256,512")

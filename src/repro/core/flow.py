@@ -145,10 +145,25 @@ class NormalizingFlow(Module):
         batch = z.shape[0]
         return self.projection(z).reshape(batch, self.pred_len, self.c_out)
 
-    def sample(self, h_enc: Tensor, h_dec: Tensor, n_samples: int = 100) -> np.ndarray:
-        """Draw ``n_samples`` stochastic forecasts: (S, B, pred_len, c_out)."""
-        draws = [self.forward(h_enc, h_dec, deterministic=False).data for _ in range(n_samples)]
-        return np.stack(draws, axis=0)
+    def sample(
+        self, h_enc: Tensor, h_dec: Tensor, n_samples: int = 100, out: Optional[np.ndarray] = None
+    ) -> np.ndarray:
+        """Draw ``n_samples`` stochastic forecasts: (S, B, pred_len, c_out).
+
+        ``out`` (same shape) receives the draws in place — callers doing
+        repeated Monte-Carlo passes preallocate once instead of paying a
+        fresh (S, B, L, C) stack per call.
+        """
+        if out is None:
+            first = self.forward(h_enc, h_dec, deterministic=False).data
+            out = np.empty((n_samples,) + first.shape, dtype=first.dtype)
+            out[0] = first
+            start = 1
+        else:
+            start = 0
+        for s in range(start, n_samples):
+            out[s] = self.forward(h_enc, h_dec, deterministic=False).data
+        return out
 
     # ------------------------------------------------------------------
     # NLL extension: an explicit Gaussian output distribution
@@ -188,11 +203,19 @@ class NormalizingFlow(Module):
             )
         return loss
 
-    def sample_distribution(self, h_enc: Tensor, h_dec: Tensor, n_samples: int = 100) -> np.ndarray:
-        """Draws from the explicit output distribution (S, B, pred_len, c_out)."""
-        draws = []
-        for _ in range(n_samples):
+    def sample_distribution(
+        self, h_enc: Tensor, h_dec: Tensor, n_samples: int = 100, out: Optional[np.ndarray] = None
+    ) -> np.ndarray:
+        """Draws from the explicit output distribution (S, B, pred_len, c_out).
+
+        ``out`` works as in :meth:`sample`: a preallocated (S, B, L, C)
+        buffer receives every draw in place.
+        """
+        for s in range(n_samples):
             mu, sigma = self.output_distribution(h_enc, h_dec, deterministic=False)
             eps = self._rng.normal(size=mu.shape)
-            draws.append(mu.data + sigma.data * eps)
-        return np.stack(draws, axis=0)
+            if out is None:
+                out = np.empty((n_samples,) + tuple(mu.shape), dtype=mu.data.dtype)
+            np.multiply(sigma.data, eps, out=out[s])
+            out[s] += mu.data
+        return out

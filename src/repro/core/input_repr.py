@@ -25,13 +25,17 @@ from typing import Optional
 import numpy as np
 
 from repro.nn import Conv1d, Linear, Module, ModuleList, Parameter, init
-from repro.tensor import Tensor, functional as F
+from repro.tensor import Tensor, functional as F, get_arena, is_inference_mode
 
 VARIANTS = ("full", "-gamma", "-r", "-r-gamma", "-x", "-x-gamma")
 
 
 def multivariate_correlation_weights(x: np.ndarray) -> np.ndarray:
     """Eqs. (1)-(2): softmax over variables of the FFT auto-correlation.
+
+    Under :func:`repro.tensor.inference_mode` the correlation/softmax
+    chain runs in place on one recycled arena buffer (the result stays in
+    the buffer too — callers consume it within the same forward).
 
     Parameters
     ----------
@@ -43,6 +47,13 @@ def multivariate_correlation_weights(x: np.ndarray) -> np.ndarray:
     """
     spectrum = np.fft.rfft(x, axis=1)
     corr = np.fft.irfft(spectrum * np.conj(spectrum), n=x.shape[1], axis=1)
+    if is_inference_mode():
+        w = get_arena().get("input_repr.corr", corr.shape, corr.dtype)
+        np.divide(corr, max(x.shape[1], 1), out=w)
+        w -= w.max(axis=-1, keepdims=True)
+        np.exp(w, out=w)
+        w /= w.sum(axis=-1, keepdims=True)
+        return w
     corr = corr / max(x.shape[1], 1)
     shifted = corr - corr.max(axis=-1, keepdims=True)
     exp = np.exp(shifted)

@@ -16,12 +16,12 @@ module provides the loess-based alternative as a drop-in:
 
 from __future__ import annotations
 
-from typing import Dict, Tuple
+from typing import Tuple
 
 import numpy as np
 
 from repro.nn import Module
-from repro.tensor import Tensor
+from repro.tensor import Tensor, get_default_dtype, plan_cache
 
 
 def loess_matrix(length: int, span: float) -> np.ndarray:
@@ -35,8 +35,11 @@ def loess_matrix(length: int, span: float) -> np.ndarray:
         raise ValueError(f"span must be in (0, 1], got {span}")
     window = max(3, int(np.ceil(span * length)))
     window = min(window, length)
-    positions = np.arange(length, dtype=np.float64)
-    matrix = np.zeros((length, length))
+    # built in the engine's active compute dtype so a float32 inference
+    # pass gets a float32 operator instead of a hard-coded float64 one
+    dt = get_default_dtype()
+    positions = np.arange(length, dtype=dt)
+    matrix = np.zeros((length, length), dtype=dt)
     for i in range(length):
         distances = np.abs(positions - i)
         # the `window` nearest points
@@ -60,19 +63,23 @@ def loess_matrix(length: int, span: float) -> np.ndarray:
 class LoessSmoother(Module):
     """Differentiable loess smoothing over the time axis of (B, L, C).
 
-    The smoothing matrix is cached per sequence length (the operator
-    depends only on (L, span)).
+    The smoothing matrix depends only on (L, span, dtype), so it lives in
+    the process-wide plan cache and is shared across instances.
     """
 
     def __init__(self, span: float = 0.3) -> None:
         super().__init__()
         self.span = span
-        self._cache: Dict[int, np.ndarray] = {}
 
     def _matrix(self, length: int) -> np.ndarray:
-        if length not in self._cache:
-            self._cache[length] = loess_matrix(length, self.span)
-        return self._cache[length]
+        dt = get_default_dtype()
+
+        def build() -> np.ndarray:
+            matrix = loess_matrix(length, self.span)
+            matrix.setflags(write=False)
+            return matrix
+
+        return plan_cache().get(("loess_matrix", length, self.span, str(dt)), build)
 
     def forward(self, x: Tensor) -> Tensor:
         matrix = self._matrix(x.shape[1])

@@ -18,7 +18,7 @@ from repro.core.flow import NormalizingFlow
 from repro.core.input_repr import InputRepresentation
 from repro.core.sirn import SIRNDecoder, SIRNEncoder
 from repro.nn import Module
-from repro.tensor import Tensor, functional as F, no_grad
+from repro.tensor import Tensor, functional as F, get_arena, inference_mode
 from repro.tensor.random import spawn_rng
 
 
@@ -146,7 +146,7 @@ class Conformer(Module):
         was_training = self.training
         self.eval()
         try:
-            with no_grad():
+            with inference_mode():
                 y_out, z_out = self.forward(
                     _t(x_enc), _t(x_mark_enc), _t(x_dec), _t(y_mark_dec), deterministic=True
                 )
@@ -177,15 +177,22 @@ class Conformer(Module):
         was_training = self.training
         self.eval()
         try:
-            with no_grad():
+            with inference_mode():
                 y_out, _ = self.forward(_t(x_enc), _t(x_mark_enc), _t(x_dec), _t(y_mark_dec), deterministic=True)
                 h_enc, h_dec = self._flow_inputs
+                # one recycled (S, B, L, C) buffer receives every Monte-Carlo
+                # draw; only the blended result below is freshly allocated
+                # (it escapes via result["samples"])
+                shape = (n_samples,) + tuple(y_out.shape)
+                z_samples = get_arena().get("model.mc_samples", shape, y_out.data.dtype)
                 if self.config.flow_loss == "nll":
-                    z_samples = self.flow.sample_distribution(h_enc, h_dec, n_samples=n_samples)
+                    self.flow.sample_distribution(h_enc, h_dec, n_samples=n_samples, out=z_samples)
                 else:
-                    z_samples = self.flow.sample(h_enc, h_dec, n_samples=n_samples)  # (S, B, L, C)
+                    self.flow.sample(h_enc, h_dec, n_samples=n_samples, out=z_samples)
             lam = self.config.lambda_weight
-            blended = lam * y_out.data[None] + (1.0 - lam) * z_samples
+            blended = np.empty_like(z_samples)
+            np.multiply(z_samples, 1.0 - lam, out=blended)
+            blended += lam * y_out.data[None]
             result = {"point": blended.mean(axis=0), "mean": blended.mean(axis=0), "samples": blended}
             for q in quantiles:
                 result[f"q{q}"] = np.quantile(blended, q, axis=0)

@@ -15,7 +15,7 @@ from typing import Dict, List, Sequence
 import numpy as np
 
 from repro.nn import get_attention
-from repro.tensor import Tensor, no_grad
+from repro.tensor import Tensor, inference_mode
 
 
 @dataclass
@@ -47,7 +47,7 @@ def measure_attention(
         q = Tensor(rng.normal(size=(batch, n_heads, length, d_head)))
         k = Tensor(rng.normal(size=(batch, n_heads, length, d_head)))
         v = Tensor(rng.normal(size=(batch, n_heads, length, d_head)))
-        with no_grad():
+        with inference_mode():
             mech(q, k, v)  # warm-up
             tracemalloc.start()
             start = time.perf_counter()
@@ -108,7 +108,7 @@ def measure_model(
         x_mark = Tensor(rng.normal(size=(batch, length, d_time)))
         x_dec = Tensor(rng.normal(size=(batch, label_len + pred_len, enc_in)))
         y_mark = Tensor(rng.normal(size=(batch, label_len + pred_len, d_time)))
-        with no_grad():
+        with inference_mode():
             model(x_enc, x_mark, x_dec, y_mark)  # warm-up
             tracemalloc.start()
             start = time.perf_counter()

@@ -28,14 +28,49 @@ import numpy as np
 
 from repro.nn.layers import Dropout, Linear
 from repro.nn.module import Module
-from repro.tensor import Tensor, functional as F
+from repro.tensor import Tensor, functional as F, get_arena, get_default_dtype, is_inference_mode, plan_cache
 
 _NEG_INF = -1e9
 
 
 def causal_mask(length: int) -> np.ndarray:
-    """Boolean (L, L) mask; True marks *disallowed* (future) positions."""
-    return np.triu(np.ones((length, length), dtype=bool), k=1)
+    """Boolean (L, L) mask; True marks *disallowed* (future) positions.
+
+    Cached by length (read-only — copy before mutating).
+    """
+
+    def build() -> np.ndarray:
+        mask = np.triu(np.ones((length, length), dtype=bool), k=1)
+        mask.setflags(write=False)
+        return mask
+
+    return plan_cache().get(("causal_mask", length), build)
+
+
+def _window_plan(length: int, half: int, causal: bool):
+    """Cached (idx, invalid) neighbour-gather plan for windowed attention.
+
+    ``idx`` is the (L, w+1) clipped neighbour index map; ``invalid`` the
+    matching boolean mask of out-of-range (or future, when causal)
+    positions, or None when every slot is valid.  Keyed by the full
+    geometry, so a sequence-length change rebuilds instead of reusing a
+    stale plan.
+    """
+
+    def build():
+        offsets = np.arange(-half, half + 1)
+        positions = np.arange(length)[:, None] + offsets[None, :]
+        idx = np.clip(positions, 0, length - 1)  # (L, w+1)
+        invalid = (positions < 0) | (positions >= length)
+        if causal:
+            invalid = invalid | (offsets[None, :] > 0)
+        idx.setflags(write=False)
+        if not np.any(invalid):
+            return idx, None
+        invalid.setflags(write=False)
+        return idx, invalid
+
+    return plan_cache().get(("window_plan", length, half, causal), build)
 
 
 class AttentionMechanism(Module):
@@ -84,28 +119,18 @@ class SlidingWindowAttention(AttentionMechanism):
         self.causal = causal
 
     def _neighbourhoods(self, x: Tensor, length: int) -> Tensor:
-        """Gather (B, H, L, w+1, d) neighbour windows via an index map."""
-        half = self.half
-        # positions i-half .. i+half clipped to the valid range
-        offsets = np.arange(-half, half + 1)
-        idx = np.clip(np.arange(length)[:, None] + offsets[None, :], 0, length - 1)  # (L, w+1)
+        """Gather (B, H, L, w+1, d) neighbour windows via a cached index map."""
+        idx, _ = _window_plan(length, self.half, self.causal)
         return x[:, :, idx, :]  # fancy index on axis 2 -> (B, H, L, w+1, d)
 
     def forward(self, q: Tensor, k: Tensor, v: Tensor, mask: Optional[np.ndarray] = None) -> Tensor:
         if k.shape[-2] != q.shape[-2]:
             raise ValueError("sliding-window attention requires self-attention (L_q == L_k)")
         batch, heads, length, d_head = q.shape
-        half = self.half
         k_windows = self._neighbourhoods(k, length)  # (B, H, L, w+1, d)
         v_windows = self._neighbourhoods(v, length)
         scale = math.sqrt(d_head)
-
-        offsets = np.arange(-half, half + 1)
-        positions = np.arange(length)[:, None] + offsets[None, :]
-        invalid = (positions < 0) | (positions >= length)
-        if self.causal:
-            invalid = invalid | (offsets[None, :] > 0)
-        invalid_mask = invalid if np.any(invalid) else None
+        _, invalid_mask = _window_plan(length, self.half, self.causal)
 
         if F.fused_ops_enabled():
             # contracted matmul + fused masked softmax: 3 tape nodes total
@@ -149,18 +174,37 @@ class GlobalWindowAttention(AttentionMechanism):
         count = min(self.n_global, length)
         return np.unique(np.linspace(0, length - 1, count).astype(np.int64))
 
+    def _plan(self, length: int, dt):
+        """Cached geometry: window index map, combined invalid mask, global
+        token indices, and the one-hot scatter matrices (built in the
+        active compute dtype so no per-call casts are needed)."""
+
+        def build():
+            glob = self._global_indices(length)
+            g = len(glob)
+            idx, invalid_local = _window_plan(length, self.window // 2, False)
+            if invalid_local is None:
+                invalid_local = np.zeros(idx.shape, dtype=bool)
+            invalid = np.concatenate([invalid_local, np.zeros((length, g), dtype=bool)], axis=1)
+            onehot = np.zeros((length, g), dtype=dt)
+            onehot[glob, np.arange(g)] = 1.0
+            not_global = 1.0 - onehot.sum(axis=1, keepdims=True)  # (L, 1)
+            for arr in (glob, invalid, onehot, not_global):
+                arr.setflags(write=False)
+            return glob, invalid, onehot, not_global
+
+        return plan_cache().get(("global_plan", length, self.window, self.n_global, str(dt)), build)
+
     def forward(self, q: Tensor, k: Tensor, v: Tensor, mask: Optional[np.ndarray] = None) -> Tensor:
         if k.shape[-2] != q.shape[-2]:
             raise ValueError("global-window attention requires self-attention (L_q == L_k)")
         batch, heads, length, d_head = q.shape
-        glob = self._global_indices(length)
+        glob, invalid, onehot, not_global = self._plan(length, get_default_dtype())
         g = len(glob)
-        half = self.window // 2
         scale = math.sqrt(d_head)
 
         # ----- non-global queries: window neighbours + the global tokens -----
-        offsets = np.arange(-half, half + 1)
-        idx = np.clip(np.arange(length)[:, None] + offsets[None, :], 0, length - 1)  # (L, w+1)
+        idx, _ = _window_plan(length, self.window // 2, False)
         k_local = k[:, :, idx, :]  # (B, H, L, w+1, d)
         v_local = v[:, :, idx, :]
         k_glob = k[:, :, glob, :].expand_dims(2).broadcast_to((batch, heads, length, g, d_head))
@@ -168,9 +212,6 @@ class GlobalWindowAttention(AttentionMechanism):
         keys = F.concat([k_local, k_glob], axis=3)  # (B, H, L, w+1+g, d)
         values = F.concat([v_local, v_glob], axis=3)
 
-        positions = np.arange(length)[:, None] + offsets[None, :]
-        invalid_local = (positions < 0) | (positions >= length)
-        invalid = np.concatenate([invalid_local, np.zeros((length, g), dtype=bool)], axis=1)
         if F.fused_ops_enabled():
             scores = F.einsum("bhld,bhlwd->bhlw", q, keys) * (1.0 / scale)  # (B, H, L, w+1+g)
             weights = self.dropout(F.softmax_masked(scores, invalid, axis=-1))
@@ -190,10 +231,7 @@ class GlobalWindowAttention(AttentionMechanism):
         glob_out = glob_weights @ v  # (B, H, g, d)
 
         # scatter the global rows over the local output with a one-hot mix
-        onehot = np.zeros((length, g))
-        onehot[glob, np.arange(g)] = 1.0
-        is_global = onehot.sum(axis=1, keepdims=True)  # (L, 1)
-        return local_out * Tensor(1.0 - is_global) + Tensor(onehot) @ glob_out
+        return local_out * Tensor(not_global) + Tensor(onehot) @ glob_out
 
 
 @lru_cache(maxsize=64)
@@ -283,8 +321,16 @@ class ProbSparseAttention(AttentionMechanism):
 
         # --- lazy queries output the (cumulative) mean of V ---
         if self.causal and l_q == l_k:
-            # differentiable cumulative mean via a constant lower-triangular mix
-            tri = np.tril(np.ones((l_k, l_k))) / np.arange(1, l_k + 1)[:, None]
+            # differentiable cumulative mean via a constant lower-triangular
+            # mix (cached: it only depends on length and compute dtype)
+            dt = get_default_dtype()
+
+            def build_tri() -> np.ndarray:
+                tri = np.tril(np.ones((l_k, l_k), dtype=dt)) / np.arange(1, l_k + 1, dtype=dt)[:, None]
+                tri.setflags(write=False)
+                return tri
+
+            tri = plan_cache().get(("probsparse_tri", l_k, str(dt)), build_tri)
             baseline = Tensor(tri) @ v  # (B, H, L, d)
         else:
             baseline = v.mean(axis=2, keepdims=True).broadcast_to((batch, heads, l_q, d_head))
@@ -379,7 +425,7 @@ class AutoCorrelation(AttentionMechanism):
                 v = v[:, :, :length, :]
             else:
                 pad_len = length - k.shape[-2]
-                zeros = Tensor(np.zeros((batch, heads, pad_len, d_head)))
+                zeros = Tensor(np.zeros((batch, heads, pad_len, d_head), dtype=k.data.dtype))
                 k = F.concat([k, zeros], axis=2)
                 v = F.concat([v, zeros], axis=2)
 
@@ -392,6 +438,9 @@ class AutoCorrelation(AttentionMechanism):
         corr = np.fft.irfft(q_fft * np.conj(k_fft), n=length, axis=2)  # (B, H, L, d)
         mean_corr = corr.mean(axis=(1, 3))  # (B, L): average over heads & channels
         delays = np.argsort(-mean_corr, axis=-1)[:, :top_k]  # (B, top_k)
+
+        if is_inference_mode():
+            return self.dropout(self._aggregate_inference(q, k, v, delays, top_k))
 
         # -- differentiable re-computation of the selected correlations --
         weights_list = []
@@ -410,6 +459,28 @@ class AutoCorrelation(AttentionMechanism):
             out = term if out is None else out + term
         return self.dropout(out)
 
+    @staticmethod
+    def _aggregate_inference(q: Tensor, k: Tensor, v: Tensor, delays: np.ndarray, top_k: int) -> Tensor:
+        """Tape-free delay aggregation: one arena roll buffer reused across
+        the top-k scan instead of 2*top_k fresh (B, H, L, d) tensors."""
+        qd, kd, vd = q.data, k.data, v.data
+        batch = qd.shape[0]
+        norm = qd.size // batch  # mean over heads, time, channels
+        rolled = get_arena().get("autocorr.rolled", qd.shape, qd.dtype)
+        weights = np.empty((batch, top_k), dtype=qd.dtype)
+        for j in range(top_k):
+            _roll_time_into(kd, delays[:, j], rolled)
+            weights[:, j] = np.einsum("bhld,bhld->b", qd, rolled, optimize=True) / norm
+        weights -= weights.max(axis=1, keepdims=True)
+        np.exp(weights, out=weights)
+        weights /= weights.sum(axis=1, keepdims=True)
+        out = np.zeros_like(qd)
+        for j in range(top_k):
+            _roll_time_into(vd, delays[:, j], rolled)
+            rolled *= weights[:, j, None, None, None]
+            out += rolled
+        return Tensor(out)
+
 
 def _roll_time(x: Tensor, shifts: np.ndarray) -> Tensor:
     """Roll each batch element of (B, H, L, d) along time by its own shift."""
@@ -418,6 +489,14 @@ def _roll_time(x: Tensor, shifts: np.ndarray) -> Tensor:
     b_idx = np.arange(batch)[:, None, None]
     h_idx = np.arange(x.shape[1])[None, :, None]
     return x[b_idx, h_idx, idx[:, None, :]]
+
+
+def _roll_time_into(x: np.ndarray, shifts: np.ndarray, out: np.ndarray) -> None:
+    """Raw-array variant of :func:`_roll_time` writing into ``out``."""
+    batch, _, length, _ = x.shape
+    base = np.arange(length)
+    for b in range(batch):
+        np.take(x[b], (base + shifts[b]) % length, axis=1, out=out[b])
 
 
 class MultiHeadAttention(Module):

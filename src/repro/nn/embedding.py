@@ -16,7 +16,27 @@ import numpy as np
 from repro.nn.layers import Conv1d, Dropout, Linear
 from repro.nn.module import Module, Parameter
 from repro.nn import init
-from repro.tensor import Tensor
+from repro.tensor import Tensor, plan_cache
+
+
+def _positional_table(d_model: int, length: int, dtype: np.dtype) -> np.ndarray:
+    """Sinusoidal table slice, memoized per (d_model, length, dtype).
+
+    Tables are shared across every ``PositionalEncoding`` instance via the
+    plan cache instead of living on the module (the seed preallocated a
+    (5000, d_model) float64 table per instance).  Cached slices are marked
+    read-only because they are added to activations of any batch.
+    """
+    def build() -> np.ndarray:
+        position = np.arange(length)[:, None]
+        div = np.exp(np.arange(0, d_model, 2) * (-math.log(10000.0) / d_model))
+        table = np.zeros((length, d_model), dtype=dtype)
+        table[:, 0::2] = np.sin(position * div)
+        table[:, 1::2] = np.cos(position * div[: d_model // 2])
+        table.setflags(write=False)
+        return table
+
+    return plan_cache().get(("pos_table", d_model, length, str(dtype)), build)
 
 
 class PositionalEncoding(Module):
@@ -24,16 +44,14 @@ class PositionalEncoding(Module):
 
     def __init__(self, d_model: int, max_len: int = 5000) -> None:
         super().__init__()
-        position = np.arange(max_len)[:, None]
-        div = np.exp(np.arange(0, d_model, 2) * (-math.log(10000.0) / d_model))
-        table = np.zeros((max_len, d_model))
-        table[:, 0::2] = np.sin(position * div)
-        table[:, 1::2] = np.cos(position * div[: d_model // 2])
-        self._table = table
+        self.d_model = d_model
+        self.max_len = max_len
 
     def forward(self, x: Tensor) -> Tensor:
         length = x.shape[1]
-        return x + Tensor(self._table[:length])
+        if length > self.max_len:
+            raise ValueError(f"sequence length {length} exceeds max_len={self.max_len}")
+        return x + Tensor(_positional_table(self.d_model, length, x.data.dtype))
 
 
 class TokenEmbedding(Module):

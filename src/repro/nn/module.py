@@ -83,6 +83,32 @@ class Module:
     def num_parameters(self) -> int:
         return sum(p.size for p in self.parameters())
 
+    def to_dtype(self, dtype) -> "Module":
+        """Cast all floating parameters and ndarray buffers to ``dtype``.
+
+        This is half of the float32 fast-path recipe (the other half is
+        ``repro.tensor.compute_dtype``, which makes freshly created
+        constants follow suit — see docs/performance.md).  Pending
+        gradients are dropped: they were accumulated in the old dtype and
+        casting them would hide the mismatch from the optimizer.
+        """
+        dtype = np.dtype(dtype)
+        for module in self.modules():
+            for param in module._parameters.values():
+                if np.issubdtype(param.data.dtype, np.floating) and param.data.dtype != dtype:
+                    # rebinding on purpose: astype copies, so in-place
+                    # assignment could not change the dtype anyway
+                    param.data = param.data.astype(dtype)  # repro: noqa[no-data-write]
+                    param.grad = None  # repro: noqa[no-data-write]
+            for name, value in vars(module).items():
+                if (
+                    isinstance(value, np.ndarray)
+                    and np.issubdtype(value.dtype, np.floating)
+                    and value.dtype != dtype
+                ):
+                    object.__setattr__(module, name, value.astype(dtype))
+        return self
+
     # -- serialization ----------------------------------------------------
     def state_dict(self) -> Dict[str, np.ndarray]:
         return {name: param.data.copy() for name, param in self.named_parameters()}

@@ -33,7 +33,8 @@ class GRUCell(Module):
         """Return (outputs (B, L, H), final hidden (B, H))."""
         batch, length, _ = x.shape
         hidden = self.hidden_size
-        h = h0 if h0 is not None else Tensor(np.zeros((batch, hidden)))
+        # zeros follow the input dtype so a float32 pass stays float32
+        h = h0 if h0 is not None else Tensor(np.zeros((batch, hidden), dtype=x.data.dtype))
         x_proj = x @ self.weight_ih + self.bias_ih  # (B, L, 3H)
         if F.fused_ops_enabled():
             # whole scan = one tape node with a hand-written BPTT backward
@@ -112,8 +113,8 @@ class LSTMCell(Module):
         batch, length, _ = x.shape
         hidden = self.hidden_size
         if state is None:
-            h = Tensor(np.zeros((batch, hidden)))
-            c = Tensor(np.zeros((batch, hidden)))
+            h = Tensor(np.zeros((batch, hidden), dtype=x.data.dtype))
+            c = Tensor(np.zeros((batch, hidden), dtype=x.data.dtype))
         else:
             h, c = state
         x_proj = x @ self.weight_ih + self.bias_ih

@@ -1,0 +1,75 @@
+"""Scratch-buffer arena for the tape-free inference fast path.
+
+The fused scan kernels allocate a handful of per-timestep work buffers
+(gate pre-activations, candidate states, the running hidden state).  In
+training those must be fresh — the backward pass reads them — but inside
+``inference_mode()`` nothing outlives the loop iteration, so the kernels
+check buffers out of this arena instead and numpy's allocator drops out
+of the hot path entirely.
+
+Rules of engagement (enforced by convention, asserted by tests):
+
+- Only *work* buffers that die inside the kernel may come from the arena.
+  Anything that escapes — the scan output, a returned hidden state — must
+  be freshly allocated, otherwise the next call corrupts it.
+- A slot is keyed by (tag, shape, dtype), so an encoder and a decoder
+  sharing a tag but not a geometry each keep their own buffer instead of
+  evicting one another every call.  Stale geometries (an old batch size,
+  the float64 buffers after switching to float32) are flushed with
+  :meth:`clear`.
+- Buffer contents are NOT zeroed on checkout.  Callers must fully
+  overwrite (``out=`` kernels, full-slice assignment) before reading.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+import numpy as np
+
+
+class BufferArena:
+    """Reusable scratch buffers keyed by (tag, shape, dtype)."""
+
+    def __init__(self) -> None:
+        self._slots: Dict[tuple, np.ndarray] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def get(self, tag: str, shape: Tuple[int, ...], dtype) -> np.ndarray:
+        """Check out an uninitialised (shape, dtype) buffer for ``tag``.
+
+        The first request for a geometry allocates; every later request
+        with the same (tag, shape, dtype) returns the same buffer.
+        """
+        dtype = np.dtype(dtype)
+        key = (tag, tuple(shape), dtype)
+        buf = self._slots.get(key)
+        if buf is not None:
+            self.hits += 1
+            return buf
+        self.misses += 1
+        buf = np.empty(shape, dtype=dtype)
+        self._slots[key] = buf
+        return buf
+
+    def clear(self) -> None:
+        """Drop every slot (frees the memory; counters are kept)."""
+        self._slots.clear()
+
+    def stats(self) -> Dict[str, int]:
+        return {"slots": len(self._slots), "hits": self.hits, "misses": self.misses}
+
+    def nbytes(self) -> int:
+        """Total bytes currently pinned by live slots."""
+        return sum(buf.nbytes for buf in self._slots.values())
+
+
+#: process-wide arena used by the fused inference kernels (the engine is
+#: single-threaded; a per-thread arena would be needed before that changes)
+_ARENA = BufferArena()
+
+
+def get_arena() -> BufferArena:
+    """The process-wide scratch arena."""
+    return _ARENA

@@ -1,0 +1,89 @@
+"""Plan/table cache: memoized shape-derived constants for the model zoo.
+
+Attention masks, neighbour-gather index maps, cumulative-average mixing
+matrices, and positional-encoding table slices depend only on *geometry*
+(sequence length, window, dtype) — yet the seed code rebuilt them on
+every forward.  This cache keys each plan by its full geometry tuple so a
+shape change can never reuse a stale plan (the new key simply misses and
+the builder runs again), and keeps hit/miss counters so the perf suite
+can assert reuse actually happens.
+
+Unlike ``functools.lru_cache`` this layer is introspectable
+(:meth:`PlanCache.stats`), explicitly invalidatable (:meth:`invalidate`),
+and bounds memory with FIFO eviction rather than growing per-decorated
+function.  numpy's pocketfft already memoizes FFT twiddle factors by
+transform length internally; what this layer adds for the FFT-adjacent
+paths is the surrounding geometry (index maps, scatter matrices) and one
+place to flush everything between experiments.
+
+Cached arrays are shared across calls — builders mark them read-only
+(``setflags(write=False)``) where aliasing bugs would be silent.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Callable, Dict, Hashable, Optional
+
+
+class PlanCache:
+    """Bounded memo from geometry keys to prebuilt plan objects."""
+
+    def __init__(self, maxsize: int = 256) -> None:
+        self.maxsize = maxsize
+        self._entries: "OrderedDict[Hashable, object]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def get(self, key: Hashable, builder: Callable[[], object]):
+        """Return the cached plan for ``key``, building it on first use.
+
+        ``key`` must capture every input the builder reads (lengths,
+        windows, flags, dtype): a changed shape therefore misses and
+        rebuilds instead of serving a stale plan.
+        """
+        try:
+            value = self._entries[key]
+        except KeyError:
+            pass
+        else:
+            self.hits += 1
+            return value
+        self.misses += 1
+        value = builder()
+        if len(self._entries) >= self.maxsize:
+            self._entries.popitem(last=False)  # FIFO: oldest plan goes first
+        self._entries[key] = value
+        return value
+
+    def invalidate(self, prefix: Optional[str] = None) -> int:
+        """Drop all plans (or those whose key tuple starts with ``prefix``).
+
+        Returns the number of entries removed.
+        """
+        if prefix is None:
+            count = len(self._entries)
+            self._entries.clear()
+            return count
+        doomed = [
+            key for key in self._entries
+            if isinstance(key, tuple) and key and key[0] == prefix
+        ]
+        for key in doomed:
+            del self._entries[key]
+        return len(doomed)
+
+    def stats(self) -> Dict[str, int]:
+        return {"entries": len(self._entries), "hits": self.hits, "misses": self.misses}
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+
+#: process-wide plan cache used by nn/ and core/ geometry builders
+_PLAN_CACHE = PlanCache()
+
+
+def plan_cache() -> PlanCache:
+    """The process-wide plan/table cache."""
+    return _PLAN_CACHE

@@ -15,6 +15,7 @@ import numpy as np
 from scipy import special as sp_special
 
 from repro.tensor import tensor as _engine
+from repro.tensor.arena import get_arena
 from repro.tensor.tensor import Tensor, ensure_tensor
 
 Axis = Union[None, int, Tuple[int, ...]]
@@ -485,6 +486,47 @@ def lstm_step(x_gates: Tensor, h: Tensor, c: Tensor, weight_hh: Tensor, bias_hh:
     return Tensor._make(out_data, (x_gates, h, c, weight_hh, bias_hh), "lstm_step", backward)
 
 
+def _gru_sequence_inference(x_proj: Tensor, h0: Tensor, weight_hh: Tensor, bias_hh: Tensor) -> Tensor:
+    """Tape-free GRU scan for ``inference_mode()``.
+
+    Numerically identical to the fused training scan but saves no gate
+    activations (nothing will ever read them) and runs every per-timestep
+    kernel ``out=``-style into arena scratch.  Only the (B, L, H) output —
+    which escapes — is freshly allocated.
+    """
+    batch, length, three_h = x_proj.shape
+    hidden = three_h // 3
+    w_hh = weight_hh.data
+    b_hh = bias_hh.data
+    xp = x_proj.data
+    dt = np.result_type(xp.dtype, w_hh.dtype, b_hh.dtype, h0.data.dtype)
+    out = np.empty((batch, length, hidden), dtype=dt)
+    arena = get_arena()
+    gh = arena.get("gru.gh", (batch, three_h), dt)      # recurrent gate pre-activations
+    rz = arena.get("gru.rz", (batch, 2 * hidden), dt)   # reset|update gates
+    n_buf = arena.get("gru.n", (batch, hidden), dt)     # candidate state
+    h = arena.get("gru.h", (batch, hidden), dt)         # running hidden state
+    h[...] = h0.data
+    r, z = rz[:, :hidden], rz[:, hidden:]
+    for t in range(length):
+        np.dot(h, w_hh, out=gh)
+        gh += b_hh
+        gx = xp[:, t]
+        np.add(gx[:, : 2 * hidden], gh[:, : 2 * hidden], out=rz)
+        sp_special.expit(rz, out=rz)
+        np.multiply(r, gh[:, 2 * hidden :], out=n_buf)
+        n_buf += gx[:, 2 * hidden :]
+        np.tanh(n_buf, out=n_buf)
+        # h_new = n + z * (h - n), rewritten to update h in place
+        np.subtract(h, n_buf, out=h)
+        h *= z
+        h += n_buf
+        out[:, t] = h
+    if _engine._SANITIZER is not None:
+        _engine._SANITIZER.check_sequence("gru_sequence", out, time_axis=1)
+    return Tensor(out)
+
+
 def gru_sequence(x_proj: Tensor, h0: Tensor, weight_hh: Tensor, bias_hh: Tensor) -> Tensor:
     """Scan a whole GRU layer as ONE tape node.
 
@@ -492,7 +534,11 @@ def gru_sequence(x_proj: Tensor, h0: Tensor, weight_hh: Tensor, bias_hh: Tensor)
     ``h0`` the initial hidden state (B, H).  Returns all hidden states
     (B, L, H), written into a preallocated buffer.  The backward is a
     hand-written truncated-free BPTT over saved gate activations.
+    Inside ``inference_mode()`` a tape-free branch that retains no
+    intermediates is taken instead.
     """
+    if _engine._INFERENCE_MODE:
+        return _gru_sequence_inference(x_proj, h0, weight_hh, bias_hh)
     batch, length, three_h = x_proj.shape
     hidden = three_h // 3
     w_hh = weight_hh.data
@@ -555,13 +601,55 @@ def gru_sequence(x_proj: Tensor, h0: Tensor, weight_hh: Tensor, bias_hh: Tensor)
     return Tensor._make(out, (x_proj, h0, weight_hh, bias_hh), "gru_sequence", backward)
 
 
+def _lstm_sequence_inference(x_proj: Tensor, h0: Tensor, c0: Tensor, weight_hh: Tensor, bias_hh: Tensor) -> Tensor:
+    """Tape-free LSTM scan for ``inference_mode()`` (see GRU counterpart)."""
+    batch, length, four_h = x_proj.shape
+    hidden = four_h // 4
+    w_hh = weight_hh.data
+    b_hh = bias_hh.data
+    xp = x_proj.data
+    dt = np.result_type(xp.dtype, w_hh.dtype, b_hh.dtype, h0.data.dtype, c0.data.dtype)
+    out = np.empty((batch, length, 2 * hidden), dtype=dt)
+    arena = get_arena()
+    gates = arena.get("lstm.gates", (batch, four_h), dt)
+    tmp = arena.get("lstm.tmp", (batch, hidden), dt)
+    h = arena.get("lstm.h", (batch, hidden), dt)
+    c = arena.get("lstm.c", (batch, hidden), dt)
+    h[...] = h0.data
+    c[...] = c0.data
+    i, f = gates[:, :hidden], gates[:, hidden : 2 * hidden]
+    g, o = gates[:, 2 * hidden : 3 * hidden], gates[:, 3 * hidden :]
+    for t in range(length):
+        np.dot(h, w_hh, out=gates)
+        gates += b_hh
+        gates += xp[:, t]
+        sp_special.expit(gates[:, : 2 * hidden], out=gates[:, : 2 * hidden])
+        np.tanh(g, out=g)
+        sp_special.expit(o, out=o)
+        # c = f * c + i * g;  h = o * tanh(c)
+        c *= f
+        np.multiply(i, g, out=tmp)
+        c += tmp
+        np.tanh(c, out=tmp)
+        np.multiply(o, tmp, out=h)
+        out[:, t, :hidden] = h
+        out[:, t, hidden:] = c
+    if _engine._SANITIZER is not None:
+        _engine._SANITIZER.check_sequence("lstm_sequence", out, time_axis=1)
+    return Tensor(out)
+
+
 def lstm_sequence(x_proj: Tensor, h0: Tensor, c0: Tensor, weight_hh: Tensor, bias_hh: Tensor) -> Tensor:
     """Scan a whole LSTM layer as ONE tape node.
 
     ``x_proj`` is (B, L, 4H); returns (B, L, 2H) with hidden states in
     ``[..., :H]`` and cell states in ``[..., H:]`` (both needed so the
-    final ``(h, c)`` tuple stays differentiable).
+    final ``(h, c)`` tuple stays differentiable).  Inside
+    ``inference_mode()`` a tape-free branch that retains no intermediates
+    is taken instead.
     """
+    if _engine._INFERENCE_MODE:
+        return _lstm_sequence_inference(x_proj, h0, c0, weight_hh, bias_hh)
     batch, length, four_h = x_proj.shape
     hidden = four_h // 4
     w_hh = weight_hh.data

@@ -19,6 +19,22 @@ Arrayable = Union["Tensor", np.ndarray, float, int, list, tuple]
 
 _GRAD_ENABLED = True
 
+# Inference mode is strictly stronger than no_grad(): gradients are disabled
+# AND the fused kernels dispatch to tape-free branches that recycle scratch
+# buffers and skip saving per-timestep activations (see functional.py).
+_INFERENCE_MODE = False
+
+# The dtype every Tensor is stored as.  float64 is the training contract
+# (cheap gradient checks on a numpy engine); compute_dtype(np.float32)
+# switches the whole engine to single precision for inference.
+_DEFAULT_DTYPE = np.dtype(np.float64)
+
+# Monotonic count of tape nodes ever recorded by Tensor._make.  Tests use
+# deltas of tape_node_count() to assert that inference_mode() records
+# exactly zero nodes; repro.perf's hook-based profiler stays the tool for
+# per-op attribution.
+_TAPE_NODES = 0
+
 # Profiling hooks (installed by repro.perf; None = zero-overhead fast path).
 # _TAPE_HOOK is called with the op name every time a tape node is recorded;
 # _BACKWARD_HOOK is called with (op name, seconds) after each node's backward.
@@ -74,6 +90,65 @@ def no_grad():
         _GRAD_ENABLED = previous
 
 
+def is_inference_mode() -> bool:
+    """Whether the tape-free inference fast path is active."""
+    return _INFERENCE_MODE
+
+
+@contextlib.contextmanager
+def inference_mode():
+    """Context manager for the tape-free inference fast path.
+
+    Strictly stronger than :func:`no_grad`: gradient recording is disabled
+    (``Tensor._make`` records zero tape nodes — counter-asserted by
+    :func:`tape_node_count`) *and* the fused GRU/LSTM/attention kernels take
+    branches that neither save per-timestep activations nor allocate fresh
+    scratch each step (see :mod:`repro.tensor.arena`).  Nests freely with
+    itself and with :func:`no_grad`; the previous state is restored on exit.
+    Tensors produced inside must never be used in a later ``backward()``.
+    """
+    global _GRAD_ENABLED, _INFERENCE_MODE
+    prev_grad, prev_inf = _GRAD_ENABLED, _INFERENCE_MODE
+    _GRAD_ENABLED, _INFERENCE_MODE = False, True
+    try:
+        yield
+    finally:
+        _GRAD_ENABLED, _INFERENCE_MODE = prev_grad, prev_inf
+
+
+def tape_node_count() -> int:
+    """Monotonic count of tape nodes recorded since import.
+
+    Take a delta around a block to count the nodes it taped; inside
+    :func:`inference_mode` (or :func:`no_grad`) the delta must be zero.
+    """
+    return _TAPE_NODES
+
+
+def get_default_dtype() -> np.dtype:
+    """The dtype every new Tensor is stored as (the engine compute dtype)."""
+    return _DEFAULT_DTYPE
+
+
+@contextlib.contextmanager
+def compute_dtype(dtype):
+    """Context manager switching the engine-wide compute dtype.
+
+    Inside ``compute_dtype(np.float32)`` every Tensor construction — leaf
+    or op output — stores float32, numpy's weak scalar promotion keeps
+    Python-float constants from upcasting, and the runtime sanitizer's
+    drift check enforces the *active* dtype instead of a hard-coded
+    float64.  Cast module parameters with ``Module.to_dtype`` first so the
+    per-op casts are no-ops.  Restores the previous dtype on exit.
+    """
+    global _DEFAULT_DTYPE
+    previous, _DEFAULT_DTYPE = _DEFAULT_DTYPE, np.dtype(dtype)
+    try:
+        yield
+    finally:
+        _DEFAULT_DTYPE = previous
+
+
 def unbroadcast(grad: np.ndarray, shape: Tuple[int, ...]) -> np.ndarray:
     """Reduce ``grad`` so it matches ``shape`` after numpy broadcasting.
 
@@ -91,10 +166,10 @@ def unbroadcast(grad: np.ndarray, shape: Tuple[int, ...]) -> np.ndarray:
     return grad.reshape(shape)
 
 
-def _as_array(value: Arrayable, dtype=np.float64) -> np.ndarray:
+def _as_array(value: Arrayable, dtype=None) -> np.ndarray:
     if isinstance(value, Tensor):
         return value.data
-    return np.asarray(value, dtype=dtype)
+    return np.asarray(value, dtype=dtype if dtype is not None else _DEFAULT_DTYPE)
 
 
 def ensure_tensor(value: Arrayable) -> "Tensor":
@@ -110,9 +185,9 @@ class Tensor:
     Parameters
     ----------
     data:
-        Anything ``np.asarray`` accepts. Stored as float64 by default for
-        accurate gradient checks (the engine is CPU/numpy; float64 costs
-        little relative to Python overhead).
+        Anything ``np.asarray`` accepts. Stored as the engine compute dtype
+        — float64 by default for accurate gradient checks, float32 inside
+        ``compute_dtype(np.float32)`` (the inference fast path).
     requires_grad:
         Whether gradients should accumulate in ``self.grad``.
     """
@@ -198,6 +273,8 @@ class Tensor:
         needs_grad = _GRAD_ENABLED and any(p.requires_grad for p in parents)
         out = Tensor(data, requires_grad=needs_grad)
         if needs_grad:
+            global _TAPE_NODES
+            _TAPE_NODES += 1
             out._parents = parents
             out._op = op
             out._backward = backward

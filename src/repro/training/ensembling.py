@@ -11,7 +11,7 @@ from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
-from repro.tensor import Tensor, no_grad
+from repro.tensor import Tensor, inference_mode
 
 
 class ForecastEnsemble:
@@ -52,7 +52,7 @@ class ForecastEnsemble:
         outputs = []
         for model in self.models:
             model.eval()
-            with no_grad():
+            with inference_mode():
                 out = model(_t(x_enc), _t(x_mark), _t(x_dec), _t(y_mark))
             outputs.append(model.point_forecast(out))
         return np.stack(outputs, axis=0)
@@ -74,7 +74,7 @@ class ForecastEnsemble:
         for model in self.models:
             errors = []
             model.eval()
-            with no_grad():
+            with inference_mode():
                 for x_enc, x_mark, x_dec, y_mark, y in val_loader:
                     out = model(_t(x_enc), _t(x_mark), _t(x_dec), _t(y_mark))
                     pred = model.point_forecast(out)

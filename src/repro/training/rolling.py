@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.tensor import Tensor, no_grad
+from repro.tensor import Tensor, inference_mode
 
 
 def rolling_forecast(
@@ -51,7 +51,7 @@ def rolling_forecast(
     produced = 0
     while produced < horizon:
         # build the decoder input for the current window
-        with no_grad():
+        with inference_mode():
             block_marks = future_marks[:, produced:, :]
             x_dec_ctx = x_enc[:, -label_len:, :]
             probe_pred_len = _model_pred_len(model)

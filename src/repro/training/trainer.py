@@ -48,7 +48,7 @@ from repro.data.windows import DataLoader
 from repro.obs import ConsoleSink, RunLogger
 from repro.optim import Adam, EarlyStopping, clip_grad_norm, global_grad_norm
 from repro.perf import profile as op_profile
-from repro.tensor import Tensor, no_grad
+from repro.tensor import Tensor, inference_mode
 from repro.tensor.random import generator_state
 from repro.training import metrics as M
 
@@ -392,7 +392,7 @@ class Trainer:
         was_training = getattr(self.model, "training", True)
         self.model.eval()
         try:
-            with no_grad():
+            with inference_mode():
                 losses = [self._run_batch(batch, train=False)[0] for batch in loader]
         finally:
             self.model.train(was_training)
@@ -407,7 +407,7 @@ class Trainer:
         self.model.eval()
         predictions, targets = [], []
         try:
-            with no_grad():
+            with inference_mode():
                 for x_enc, x_mark, x_dec, y_mark, y in loader:
                     outputs = self.model(Tensor(x_enc), Tensor(x_mark), Tensor(x_dec), Tensor(y_mark))
                     predictions.append(self.model.point_forecast(outputs))

@@ -38,13 +38,15 @@ class TestLoessMatrix:
 
 class TestLoessSmoother:
     def test_shapes_and_cache(self):
+        from repro.tensor import plan_cache
+
         smoother = LoessSmoother(span=0.4)
         x = Tensor(RNG.normal(size=(2, 20, 3)))
         out = smoother(x)
         assert out.shape == (2, 20, 3)
-        assert 20 in smoother._cache
-        smoother(Tensor(RNG.normal(size=(1, 20, 3))))  # cache hit
-        assert len(smoother._cache) == 1
+        hits_before = plan_cache().hits
+        smoother(Tensor(RNG.normal(size=(1, 20, 3))))  # same geometry: plan-cache hit
+        assert plan_cache().hits == hits_before + 1
 
     def test_differentiable(self):
         smoother = LoessSmoother(span=0.5)
