@@ -1,6 +1,6 @@
 """repro.analysis — static analysis and runtime sanitizers for the stack.
 
-Two halves, one goal (trustworthy runs):
+Three layers, one goal (trustworthy runs):
 
 - **Lint** (:mod:`~repro.analysis.lint`, :mod:`~repro.analysis.rules`,
   :mod:`~repro.analysis.reporters`) — an AST rule framework with a
@@ -8,6 +8,10 @@ Two halves, one goal (trustworthy runs):
   suppressions, and text/JSON reporters.  Run it via
   ``python -m repro.cli lint src`` (or ``python -m repro.analysis src``);
   exit code 1 means findings, making it CI-gateable.
+- **Contracts** (:mod:`~repro.analysis.contracts`) — a symbolic abstract
+  interpreter verifying declared ``@shape_contract`` decorators on every
+  model forward across geometries and both dtype modes *before* any real
+  batch runs.  Run it via ``python -m repro.cli check``.
 - **Sanitizer** (:mod:`~repro.analysis.sanitizer`) — a debug mode that
   hooks every tape-node creation and gradient accumulation to catch
   NaN/Inf, dtype drift, and double-broadcast surprises at the op that
@@ -15,9 +19,23 @@ Two halves, one goal (trustworthy runs):
   with :func:`sanitize` or ``repro.cli run --sanitize``; zero overhead
   when off.
 
+The contract checker shares the sanitizer's finding vocabulary
+(``dtype_drift``, ``broadcast_surprise``) and the lint reporters — the
+same defect reads the same whether caught statically or at runtime.
+
 See ``docs/static-analysis.md`` for the rule catalogue and usage.
 """
 
+from repro.analysis.contracts import (
+    AbstractTensor,
+    Dim,
+    SymExpr,
+    Violation,
+    check_model,
+    check_registry,
+    shape_contract,
+    trace_module,
+)
 from repro.analysis.lint import (
     Finding,
     FileContext,
@@ -36,15 +54,21 @@ from repro.analysis.sanitizer import (
 )
 
 __all__ = [
+    "AbstractTensor",
     "DEFAULT_ALLOWLISTS",
+    "Dim",
     "FileContext",
     "Finding",
     "LintConfig",
     "Rule",
     "SanitizerFinding",
+    "SymExpr",
     "TensorSanitizer",
     "TensorSanitizerError",
+    "Violation",
     "all_rules",
+    "check_model",
+    "check_registry",
     "default_config",
     "lint_paths",
     "register",
@@ -52,5 +76,7 @@ __all__ = [
     "render_text",
     "report_as_dict",
     "sanitize",
+    "shape_contract",
     "stale_allowlist_entries",
+    "trace_module",
 ]

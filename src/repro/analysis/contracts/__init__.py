@@ -1,0 +1,69 @@
+"""repro.analysis.contracts — symbolic shape/dtype contract checking.
+
+The static counterpart of the runtime :class:`~repro.analysis.sanitizer.
+TensorSanitizer`: an abstract interpreter that traces module forwards
+with symbolic dimensions and verifies declared ``@shape_contract``
+decorators before any real batch runs.  See ``docs/static-analysis.md``
+("Shape & dtype contracts") and ``repro.cli check``.
+
+Import layering: this package is imported *by* ``repro.nn`` and
+``repro.baselines`` (for the decorator), so nothing here may import
+those at module level — the tracer and checker import them lazily.
+"""
+
+from repro.analysis.contracts.abstract import AbstractTensor, ContractTraceError, Trace, trace_module
+from repro.analysis.contracts.checker import (
+    BATCH_PROBES,
+    GEOMETRIES,
+    MODES,
+    CheckReport,
+    Geometry,
+    ModelCheck,
+    check_model,
+    check_registry,
+)
+from repro.analysis.contracts.spec import (
+    KINDS,
+    ContractError,
+    ShapeContract,
+    Violation,
+    shape_contract,
+)
+from repro.analysis.contracts.symbolic import (
+    Dim,
+    SymExpr,
+    SymbolicError,
+    as_sym_shape,
+    broadcast_sym_shapes,
+    render_shape,
+    resymbolize,
+    sym,
+)
+
+__all__ = [
+    "AbstractTensor",
+    "BATCH_PROBES",
+    "CheckReport",
+    "ContractError",
+    "ContractTraceError",
+    "Dim",
+    "GEOMETRIES",
+    "Geometry",
+    "KINDS",
+    "MODES",
+    "ModelCheck",
+    "ShapeContract",
+    "SymExpr",
+    "SymbolicError",
+    "Trace",
+    "Violation",
+    "as_sym_shape",
+    "broadcast_sym_shapes",
+    "check_model",
+    "check_registry",
+    "render_shape",
+    "resymbolize",
+    "shape_contract",
+    "sym",
+    "trace_module",
+]

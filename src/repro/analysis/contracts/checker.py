@@ -1,0 +1,262 @@
+"""Registry-wide contract checking — ``repro.cli check``'s engine.
+
+Sweeps every model in the experiment registry through the abstract
+interpreter under symbolic geometries and both engine dtype contracts:
+
+- **float64**: the training contract — model in train mode, default
+  engine dtype, gradients conceptually live (the trace itself never
+  calls backward);
+- **float32**: the inference contract — parameters cast with
+  ``Module.to_dtype``, model in eval mode, traced under
+  ``compute_dtype(np.float32)`` + ``inference_mode()`` exactly like the
+  serving fast path (PR 6).
+
+The batch dim is *free* (prime probe sizes, default 11 and 23); the
+sequence dims are pinned by the geometry because the models pin them at
+construction (positional tables, decomposition kernels).  The full sweep
+runs the primary geometry under two batch probes and cross-checks the
+rendered symbolic output shapes — a dim that only *coincidentally*
+matched the probe cannot survive both primes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.analysis.contracts.abstract import AbstractTensor, trace_module
+from repro.analysis.contracts.spec import Violation
+from repro.analysis.contracts.symbolic import Dim, render_shape
+from repro.analysis.lint import Finding
+
+__all__ = [
+    "CheckReport",
+    "Geometry",
+    "MODES",
+    "check_model",
+    "check_registry",
+]
+
+MODES = ("float64", "float32")
+
+#: Free-batch probe sizes: primes far from every pinned model dim
+#: (16/32/8/13/4/2 in the tiny profile), so resymbolize cannot confuse a
+#: batch axis with a model axis and the dual-probe cross-check is sharp.
+BATCH_PROBES = (11, 23)
+
+
+@dataclass(frozen=True)
+class Geometry:
+    """One symbolic input geometry (sequence dims pinned, batch free)."""
+
+    name: str
+    input_len: int
+    label_len: int
+    pred_len: int
+    enc_in: int = 3
+    c_out: int = 3
+    d_time: int = 4
+
+    @property
+    def dec_len(self) -> int:
+        return self.label_len + self.pred_len
+
+
+#: The registry sweep: the profile-default geometry plus a halved one,
+#: so length-dependent plumbing (decomposition padding, bucket sizes,
+#: positional tables) is exercised at two distinct pinned shapes.
+GEOMETRIES = (
+    Geometry("g32", input_len=32, label_len=16, pred_len=8),
+    Geometry("g16", input_len=16, label_len=8, pred_len=4),
+)
+
+
+@dataclass
+class ModelCheck:
+    """One traced (model, geometry, batch-probe, dtype-mode) cell."""
+
+    model: str
+    mode: str
+    geometry: str
+    batch: int
+    violations: List[Violation]
+    output: Optional[str]  # rendered symbolic output shape(s)
+    ops_traced: int
+
+
+@dataclass
+class CheckReport:
+    """Everything ``repro.cli check`` reports on."""
+
+    findings: List[Finding]
+    models: List[str]
+    traces: int = 0
+    ops_traced: int = 0
+    cells: List[ModelCheck] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.findings
+
+
+def _build(name: str, geometry: Geometry, seed: int):
+    # imported lazily: repro.training pulls the full model zoo, and the
+    # contracts package must stay importable from inside nn/baselines
+    from repro.training.experiment import ExperimentSettings, build_model
+
+    settings = ExperimentSettings(input_len=geometry.input_len, label_len=geometry.label_len)
+    return build_model(
+        name, geometry.enc_in, geometry.c_out, geometry.pred_len, settings, seed=seed
+    )
+
+
+def _symbolic_inputs(geometry: Geometry, batch: int, dtype) -> Tuple[Tuple, Dict, Tuple[Dim, ...]]:
+    """Probe inputs + env for the forecaster protocol (x_enc, marks, x_dec, marks)."""
+    B = Dim("B", size=batch, free=True)
+    rng = np.random.default_rng(batch * 1009 + geometry.input_len)
+
+    def abstract(*entries):
+        concrete = tuple(int(e) for e in entries)
+        return AbstractTensor(rng.standard_normal(concrete).astype(dtype), entries)
+
+    inputs = (
+        abstract(B, geometry.input_len, geometry.enc_in),
+        abstract(B, geometry.input_len, geometry.d_time),
+        abstract(B, geometry.dec_len, geometry.enc_in),
+        abstract(B, geometry.dec_len, geometry.d_time),
+    )
+    env = {
+        "B": B,
+        "L": geometry.input_len,
+        "Ldec": geometry.dec_len,
+        "H": geometry.pred_len,
+        "D": geometry.enc_in,
+        "M": geometry.d_time,
+        "C": geometry.c_out,
+    }
+    return inputs, env, (B,)
+
+
+def check_model(
+    name: str,
+    geometry: Geometry,
+    batch: int,
+    mode: str,
+    seed: int = 0,
+    model_factory=None,
+) -> ModelCheck:
+    """Trace one registry model once under one geometry/probe/dtype cell.
+
+    ``model_factory`` (tests) overrides the registry build: called with
+    ``(name, geometry, seed)`` and may return a deliberately broken model.
+    """
+    from repro.tensor.tensor import compute_dtype, inference_mode
+
+    if mode not in MODES:
+        raise ValueError(f"unknown mode {mode!r}; choose from {MODES}")
+    dtype = np.float64 if mode == "float64" else np.float32
+    build = model_factory or _build
+    model = build(name, geometry, seed)
+    inputs, env, free_dims = _symbolic_inputs(geometry, batch, dtype)
+    if mode == "float64":
+        model.train()
+        trace = trace_module(model, inputs, env=env, free_dims=free_dims, expected_dtype=dtype)
+    else:
+        model.to_dtype(np.float32)
+        model.eval()
+        with compute_dtype(np.float32), inference_mode():
+            trace = trace_module(model, inputs, env=env, free_dims=free_dims, expected_dtype=dtype)
+    return ModelCheck(
+        model=name,
+        mode=mode,
+        geometry=geometry.name,
+        batch=batch,
+        violations=list(trace.violations),
+        output=_render_output(trace.output_sym),
+        ops_traced=trace.ops_traced,
+    )
+
+
+def _render_output(output_sym) -> Optional[str]:
+    if output_sym is None:
+        return None
+    if isinstance(output_sym, tuple) and output_sym and all(
+        s is None or isinstance(s, tuple) for s in output_sym
+    ):
+        return ", ".join("-" if s is None else render_shape(s) for s in output_sym)
+    return render_shape(output_sym)
+
+
+def _cell_findings(cell: ModelCheck) -> List[Finding]:
+    out = []
+    for violation in cell.violations:
+        out.append(
+            Finding(
+                path=f"{cell.model}:{violation.module or '<root>'}",
+                line=0,
+                col=0,
+                rule_id=f"contract-{violation.kind.replace('_', '-')}",
+                message=f"[{cell.mode}/{cell.geometry}/B={cell.batch}] ({violation.op}) {violation.message}",
+            )
+        )
+    return out
+
+
+def check_registry(
+    models: Optional[Sequence[str]] = None,
+    smoke: bool = False,
+    seed: int = 0,
+    model_factory=None,
+) -> CheckReport:
+    """Sweep the model registry; returns findings in lint vocabulary.
+
+    Full sweep: primary geometry x both batch probes (cross-checked) +
+    secondary geometry x first probe, each in both dtype modes.  Smoke
+    (``pytest -m lint`` / ``check --smoke``): primary geometry, first
+    probe, both modes.
+    """
+    from repro.training.experiment import available_models
+
+    names = list(models) if models else available_models()
+    unknown = sorted(set(names) - set(available_models()))
+    if unknown and model_factory is None:
+        raise ValueError(f"unknown models: {unknown}")
+
+    if smoke:
+        plan = [(GEOMETRIES[0], BATCH_PROBES[0])]
+    else:
+        plan = [(GEOMETRIES[0], probe) for probe in BATCH_PROBES]
+        plan.append((GEOMETRIES[1], BATCH_PROBES[0]))
+
+    report = CheckReport(findings=[], models=names)
+    for name in names:
+        probe_outputs: Dict[Tuple[str, str], Dict[int, Optional[str]]] = {}
+        for geometry, batch in plan:
+            for mode in MODES:
+                cell = check_model(
+                    name, geometry, batch, mode, seed=seed, model_factory=model_factory
+                )
+                report.cells.append(cell)
+                report.traces += 1
+                report.ops_traced += cell.ops_traced
+                report.findings.extend(_cell_findings(cell))
+                probe_outputs.setdefault((geometry.name, mode), {})[batch] = cell.output
+        for (geo_name, mode), by_batch in probe_outputs.items():
+            rendered = {r for r in by_batch.values() if r is not None}
+            if len(by_batch) > 1 and len(rendered) > 1:
+                report.findings.append(
+                    Finding(
+                        path=f"{name}:<output>",
+                        line=0,
+                        col=0,
+                        rule_id="contract-shape-mismatch",
+                        message=(
+                            f"[{mode}/{geo_name}] symbolic output disagrees across batch "
+                            f"probes: {', '.join(f'B={b}: {r}' for b, r in sorted(by_batch.items()))}"
+                        ),
+                    )
+                )
+    report.findings.sort()
+    return report

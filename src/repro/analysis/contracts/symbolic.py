@@ -1,0 +1,490 @@
+"""Symbolic dimensions and shape algebra for the contract checker.
+
+A :class:`Dim` is a named dimension symbol.  Every dim carries a concrete
+*probe size* — the value the abstract interpreter actually pushes through
+the kernels — so symbolic tracing never has to guess what a data-dependent
+branch would do: the concrete execution is the ground truth and the
+symbolic form rides along for reporting and generalization.  A dim is
+either *pinned* (``L`` = the construction-time sequence length: the label
+is kept purely for readable reports) or *free* (``B``: the checker traces
+the model under two different probe sizes and cross-checks that the
+recovered symbolic shapes agree, so nothing silently specialises on the
+batch size).
+
+Arithmetic on dims produces :class:`SymExpr` — an integer polynomial over
+dim atoms in canonical form (``3*H + 1``), closed under ``+ - *`` and
+exact ``//``; a non-exact floor division becomes an opaque atom rendered
+``(T//2+1)``-style.  Expressions deliberately *behave like their concrete
+value* toward the host program (``__index__``, ``__bool__``, comparisons,
+``__hash__``, ``__array__``), which is what lets an abstract tensor flow
+through unmodified model code: ``np.zeros((batch, heads, length))``,
+``range(l_q)``, ``length % chunk`` and plan-cache keys all just work,
+while ``x.shape`` keeps the algebraic labels.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+__all__ = [
+    "Dim",
+    "SymExpr",
+    "SymbolicError",
+    "as_sym_shape",
+    "broadcast_sym_shapes",
+    "entry_value",
+    "render_shape",
+    "resymbolize",
+    "sym",
+]
+
+
+class SymbolicError(ValueError):
+    """An operation the symbolic algebra cannot represent or unify."""
+
+
+# Probe sizes handed to free dims created without an explicit size.  Primes,
+# and chosen to avoid every length that appears in the tiny experiment
+# profile (32/16/24/13/8/4/3/2) so resymbolization never mislabels an axis.
+_DEFAULT_PROBES = (11, 23, 29, 31, 37, 41, 43, 47)
+_probe_counter = itertools.count()
+
+
+class Dim:
+    """An atomic named dimension with a concrete probe size.
+
+    Dims are symbols: two ``Dim("B")`` objects are *different* dimensions
+    (identity semantics keep the polynomial algebra sound).  Use one
+    shared instance per logical dimension.
+    """
+
+    __slots__ = ("name", "size", "free")
+
+    def __init__(self, name: str, size: Optional[int] = None, free: Optional[bool] = None) -> None:
+        if not name.isidentifier():
+            raise SymbolicError(f"dim name must be an identifier, got {name!r}")
+        if size is None:
+            size = _DEFAULT_PROBES[next(_probe_counter) % len(_DEFAULT_PROBES)]
+            free = True if free is None else free
+        else:
+            free = False if free is None else free
+        self.name = name
+        self.size = int(size)
+        self.free = bool(free)
+
+    # -- promotion to SymExpr ------------------------------------------
+    def _expr(self) -> "SymExpr":
+        return SymExpr({(self,): 1})
+
+    def __add__(self, other):
+        return self._expr() + other
+
+    __radd__ = __add__
+
+    def __sub__(self, other):
+        return self._expr() - other
+
+    def __rsub__(self, other):
+        return (-self._expr()) + other
+
+    def __mul__(self, other):
+        return self._expr() * other
+
+    __rmul__ = __mul__
+
+    def __floordiv__(self, other):
+        return self._expr() // other
+
+    def __mod__(self, other):
+        return self._expr() % other
+
+    def __truediv__(self, other):
+        return self._expr() / other
+
+    def __rtruediv__(self, other):
+        return other / self._expr()
+
+    def __neg__(self):
+        return -self._expr()
+
+    # -- concrete-value protocol ---------------------------------------
+    def __index__(self) -> int:
+        return self.size
+
+    __int__ = __index__
+
+    def __float__(self) -> float:
+        return float(self.size)
+
+    def __bool__(self) -> bool:
+        return bool(self.size)
+
+    def _sort_key(self) -> Tuple:
+        return (0, self.name, id(self))
+
+    def __repr__(self) -> str:
+        return self.name
+
+
+class _FloorDivAtom:
+    """Opaque atom for a floor division that does not divide exactly."""
+
+    __slots__ = ("expr", "divisor")
+
+    def __init__(self, expr: "SymExpr", divisor: int) -> None:
+        self.expr = expr
+        self.divisor = int(divisor)
+
+    @property
+    def name(self) -> str:
+        return f"({self.expr}//{self.divisor})"
+
+    @property
+    def size(self) -> int:
+        return self.expr.value // self.divisor
+
+    @property
+    def free(self) -> bool:
+        return self.expr.free
+
+    def _sort_key(self) -> Tuple:
+        return (1, self.name, id(self))
+
+    def __eq__(self, other) -> bool:
+        return (
+            isinstance(other, _FloorDivAtom)
+            and self.divisor == other.divisor
+            and self.expr.same_as(other.expr)
+        )
+
+    def __hash__(self) -> int:
+        return hash(("floordiv", self.divisor, self.expr._structural_key()))
+
+    def __repr__(self) -> str:
+        return self.name
+
+
+_Atom = Union[Dim, _FloorDivAtom]
+_Monomial = Tuple[_Atom, ...]
+
+
+def sym(value) -> "SymExpr":
+    """Coerce an int / Dim / SymExpr into a SymExpr."""
+    if isinstance(value, SymExpr):
+        return value
+    if isinstance(value, Dim):
+        return value._expr()
+    if isinstance(value, (int, np.integer)):
+        return SymExpr({(): int(value)})
+    raise SymbolicError(f"cannot build a symbolic expression from {value!r}")
+
+
+class SymExpr:
+    """Canonical integer polynomial over dimension atoms.
+
+    Equality, hashing, truthiness, ordering and array conversion all use
+    the concrete probe *value* — that is what lets expressions stand in
+    for plain ints inside traced model code (cache keys, ``np.arange``,
+    guard conditions).  Structural identity is a separate, explicit
+    operation (:meth:`same_as`), used by the contract matcher.
+    """
+
+    __slots__ = ("_terms", "_value")
+
+    def __init__(self, terms: Dict[_Monomial, int]) -> None:
+        self._terms: Dict[_Monomial, int] = {m: c for m, c in terms.items() if c != 0}
+        self._value: Optional[int] = None
+
+    # -- inspection ----------------------------------------------------
+    @property
+    def value(self) -> int:
+        if self._value is None:
+            total = 0
+            for mono, coeff in self._terms.items():
+                prod = coeff
+                for atom in mono:
+                    prod *= atom.size
+                total += prod
+            self._value = total
+        return self._value
+
+    @property
+    def free(self) -> bool:
+        return any(atom.free for mono in self._terms for atom in mono)
+
+    @property
+    def is_constant(self) -> bool:
+        return all(not mono for mono in self._terms)
+
+    def atoms(self) -> List[_Atom]:
+        seen: List[_Atom] = []
+        for mono in self._terms:
+            for atom in mono:
+                if all(atom is not s for s in seen):
+                    seen.append(atom)
+        return seen
+
+    def _structural_key(self) -> Tuple:
+        items = sorted(
+            ((tuple(a._sort_key() for a in mono), coeff) for mono, coeff in self._terms.items()),
+        )
+        return tuple(items)
+
+    def same_as(self, other) -> bool:
+        """Structural (not value) equality with another expression/int/Dim."""
+        try:
+            other = sym(other)
+        except SymbolicError:
+            return False
+        return self._structural_key() == other._structural_key()
+
+    # -- arithmetic ----------------------------------------------------
+    @staticmethod
+    def _coerce(other) -> Optional["SymExpr"]:
+        if isinstance(other, (SymExpr, Dim, int, np.integer)):
+            return sym(other)
+        return None
+
+    def __add__(self, other):
+        rhs = self._coerce(other)
+        if rhs is None:
+            if isinstance(other, (float, np.floating)):
+                return float(self) + float(other)
+            return NotImplemented
+        terms = dict(self._terms)
+        for mono, coeff in rhs._terms.items():
+            terms[mono] = terms.get(mono, 0) + coeff
+        return SymExpr(terms)
+
+    __radd__ = __add__
+
+    def __sub__(self, other):
+        rhs = self._coerce(other)
+        if rhs is None:
+            if isinstance(other, (float, np.floating)):
+                return float(self) - float(other)
+            return NotImplemented
+        return self + (-rhs)
+
+    def __rsub__(self, other):
+        rhs = self._coerce(other)
+        if rhs is None:
+            if isinstance(other, (float, np.floating)):
+                return float(other) - float(self)
+            return NotImplemented
+        return rhs + (-self)
+
+    def __mul__(self, other):
+        rhs = self._coerce(other)
+        if rhs is None:
+            if isinstance(other, (float, np.floating)):
+                return float(self) * float(other)
+            return NotImplemented
+        terms: Dict[_Monomial, int] = {}
+        for m1, c1 in self._terms.items():
+            for m2, c2 in rhs._terms.items():
+                mono = tuple(sorted(m1 + m2, key=lambda a: a._sort_key()))
+                terms[mono] = terms.get(mono, 0) + c1 * c2
+        return SymExpr(terms)
+
+    __rmul__ = __mul__
+
+    def __neg__(self):
+        return SymExpr({m: -c for m, c in self._terms.items()})
+
+    def __floordiv__(self, other):
+        if isinstance(other, (SymExpr, Dim)):
+            rhs = sym(other)
+            if not rhs.is_constant:
+                return self.value // rhs.value
+            other = rhs.value
+        if not isinstance(other, (int, np.integer)) or int(other) == 0:
+            return NotImplemented if not isinstance(other, (int, np.integer)) else 0
+        k = int(other)
+        if all(coeff % k == 0 for coeff in self._terms.values()):
+            return SymExpr({m: c // k for m, c in self._terms.items()})
+        if self.is_constant:
+            return sym(self.value // k)
+        return SymExpr({(_FloorDivAtom(self, k),): 1})
+
+    def __rfloordiv__(self, other):
+        return other // self.value
+
+    def __mod__(self, other):
+        return self.value % int(other)
+
+    def __rmod__(self, other):
+        return int(other) % self.value
+
+    # true division never stays symbolic: it degrades to a concrete float,
+    # like float +-* operands (scale factors such as 1/sqrt(d) or x/L)
+    def __truediv__(self, other):
+        return self.value / float(other)
+
+    def __rtruediv__(self, other):
+        return float(other) / self.value
+
+    # -- value protocol -------------------------------------------------
+    def __index__(self) -> int:
+        return self.value
+
+    __int__ = __index__
+
+    def __float__(self) -> float:
+        return float(self.value)
+
+    def __bool__(self) -> bool:
+        return bool(self.value)
+
+    def __array__(self, dtype=None, copy=None):
+        return np.asarray(self.value, dtype=dtype)
+
+    def __eq__(self, other) -> bool:
+        if isinstance(other, (SymExpr, Dim, int, np.integer)):
+            return self.value == int(other)
+        if isinstance(other, (float, np.floating)):
+            return float(self) == float(other)
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash(self.value)
+
+    def __lt__(self, other):
+        return self.value < _cmp_value(other)
+
+    def __le__(self, other):
+        return self.value <= _cmp_value(other)
+
+    def __gt__(self, other):
+        return self.value > _cmp_value(other)
+
+    def __ge__(self, other):
+        return self.value >= _cmp_value(other)
+
+    # -- rendering -------------------------------------------------------
+    def render(self) -> str:
+        if not self._terms:
+            return "0"
+        parts: List[str] = []
+        ordered = sorted(
+            self._terms.items(),
+            key=lambda item: (-len(item[0]), tuple(a._sort_key() for a in item[0])),
+        )
+        for mono, coeff in ordered:
+            if not mono:
+                text = str(coeff)
+            else:
+                names = "*".join(atom.name for atom in mono)
+                if coeff == 1:
+                    text = names
+                elif coeff == -1:
+                    text = f"-{names}"
+                else:
+                    text = f"{coeff}*{names}"
+            if parts and not text.startswith("-"):
+                parts.append(f"+{text}")
+            else:
+                parts.append(text)
+        return "".join(parts)
+
+    __str__ = render
+    __repr__ = render
+
+
+def _cmp_value(other) -> float:
+    if isinstance(other, (SymExpr, Dim)):
+        return sym(other).value
+    return other
+
+
+# ----------------------------------------------------------------------
+# shape helpers
+# ----------------------------------------------------------------------
+ShapeEntry = Union[int, SymExpr]
+SymShape = Tuple[ShapeEntry, ...]
+
+
+def as_sym_shape(entries: Iterable) -> SymShape:
+    """Normalise a shape-ish iterable into (SymExpr | int, ...)."""
+    out: List[ShapeEntry] = []
+    for entry in entries:
+        if isinstance(entry, (Dim, SymExpr)):
+            out.append(sym(entry))
+        else:
+            out.append(int(entry))
+    return tuple(out)
+
+
+def entry_value(entry: ShapeEntry) -> int:
+    return entry.value if isinstance(entry, SymExpr) else int(entry)
+
+
+def render_shape(shape: Optional[Sequence[ShapeEntry]]) -> str:
+    if shape is None:
+        return "?"
+    return "(" + ", ".join(str(e) for e in shape) + ")"
+
+
+def _richer(a: ShapeEntry, b: ShapeEntry) -> ShapeEntry:
+    """Of two value-equal entries, keep the more informative symbolic one."""
+    a_sym = isinstance(a, SymExpr) and not a.is_constant
+    b_sym = isinstance(b, SymExpr) and not b.is_constant
+    if a_sym and not b_sym:
+        return a
+    if b_sym and not a_sym:
+        return b
+    if a_sym and b_sym:
+        return a if a.free or not b.free else b
+    return a
+
+
+def broadcast_sym_shapes(a: Sequence[ShapeEntry], b: Sequence[ShapeEntry]) -> SymShape:
+    """Numpy-style broadcast of two symbolic shapes."""
+    a, b = tuple(a), tuple(b)
+    rank = max(len(a), len(b))
+    padded_a = (1,) * (rank - len(a)) + a
+    padded_b = (1,) * (rank - len(b)) + b
+    out: List[ShapeEntry] = []
+    for ea, eb in zip(padded_a, padded_b):
+        va, vb = entry_value(ea), entry_value(eb)
+        if va == vb:
+            out.append(_richer(ea, eb))
+        elif va == 1:
+            out.append(eb)
+        elif vb == 1:
+            out.append(ea)
+        else:
+            raise SymbolicError(
+                f"cannot broadcast {render_shape(a)} with {render_shape(b)}"
+            )
+    return tuple(out)
+
+
+def resymbolize(shape: Sequence[int], free_dims: Sequence[Dim]) -> SymShape:
+    """Recover free-dim labels in a concrete shape.
+
+    The generic transfer rule: any axis whose size equals a free dim's
+    probe size (or a small multiple of it) gets that dim's symbol back;
+    everything else stays a plain int.  Probe sizes are primes well away
+    from the model's pinned geometry, so a match is overwhelmingly likely
+    to be the free dim flowing through rather than a coincidence — and the
+    checker's dual-probe pass catches any residual ambiguity.
+    """
+    out: List[ShapeEntry] = []
+    for n in shape:
+        n = int(n)
+        entry: ShapeEntry = n
+        for dim in free_dims:
+            if dim.size == 0:
+                continue
+            if n == dim.size:
+                entry = sym(dim)
+                break
+            if n % dim.size == 0 and 2 <= n // dim.size <= 64:
+                entry = sym(dim) * (n // dim.size)
+                break
+        out.append(entry)
+    return tuple(out)

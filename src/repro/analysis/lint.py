@@ -4,12 +4,17 @@ The engine is deliberately small — all domain knowledge lives in
 :mod:`repro.analysis.rules`.  Its responsibilities:
 
 - walk the requested paths and parse every ``*.py`` into one
-  :class:`FileContext` (AST + source lines + suppression map),
+  :class:`FileContext` (AST + source lines + suppression map), caching
+  parsed trees keyed by ``(path, mtime_ns, size)`` so the tier-1
+  ``lint src`` + ``pytest -m lint`` double run parses each file once,
 - normalise each file to a *package-relative* path so allowlists written
   as ``"cli.py"`` or ``"optim/"`` match regardless of where the tree is
   checked out,
 - run every selected rule and drop findings suppressed by an inline
   ``# repro: noqa[rule-id]`` comment,
+- report suppression comments that no longer suppress anything (the
+  ``noqa-unused`` rule — tracked here because only the driver knows
+  which findings each comment absorbed),
 - load allowlist overrides from ``[tool.repro.lint]`` in ``pyproject.toml``
   when the linted tree lives inside a project.
 
@@ -19,14 +24,19 @@ two tools never fight over a comment)::
     param.data[...] = value  # repro: noqa[no-data-write] in-place load
     risky()                  # repro: noqa  -- suppresses every rule
 
-A file that does not parse yields a single ``parse-error`` finding rather
-than aborting the run — CI should report the broken file, not crash.
+Suppressions are read from real COMMENT tokens (via :mod:`tokenize`), so
+noqa text inside strings and docstrings — like the two lines above — is
+inert.  A file that does not parse yields a single ``parse-error``
+finding rather than aborting the run — CI should report the broken file,
+not crash.
 """
 
 from __future__ import annotations
 
 import ast
+import io
 import re
+import tokenize
 from dataclasses import dataclass, field, replace
 from pathlib import Path
 from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
@@ -79,10 +89,47 @@ def _matches_any(rel_path: str, prefixes: Sequence[str]) -> bool:
     return False
 
 
+def parse_suppressions(source: str) -> Dict[int, Optional[Set[str]]]:
+    """Map line number -> suppressed rule ids (None = all rules).
+
+    Reads real COMMENT tokens so noqa-looking text inside string literals
+    and docstrings never registers; on tokenize failure (the file will
+    also fail ast.parse and be reported) falls back to a line regex.
+    """
+    out: Dict[int, Optional[Set[str]]] = {}
+
+    def record(lineno: int, text: str) -> None:
+        match = _NOQA_RE.search(text)
+        if match is None:
+            return
+        raw = match.group("rules")
+        if raw is None:
+            out[lineno] = None
+        else:
+            out[lineno] = {part.strip() for part in raw.split(",") if part.strip()}
+
+    try:
+        for tok in tokenize.generate_tokens(io.StringIO(source).readline):
+            if tok.type == tokenize.COMMENT:
+                record(tok.start[0], tok.string)
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        out.clear()
+        for lineno, text in enumerate(source.splitlines(), start=1):
+            record(lineno, text)
+    return out
+
+
 class FileContext:
     """Everything a rule may inspect about one source file."""
 
-    def __init__(self, path: Path, rel_path: str, source: str, tree: ast.AST) -> None:
+    def __init__(
+        self,
+        path: Path,
+        rel_path: str,
+        source: str,
+        tree: ast.AST,
+        suppressions: Optional[Dict[int, Optional[Set[str]]]] = None,
+    ) -> None:
         self.path = path
         #: path relative to the ``repro`` package root (or the scan root
         #: when the file is not inside a ``repro`` package) — the
@@ -91,28 +138,89 @@ class FileContext:
         self.source = source
         self.lines = source.splitlines()
         self.tree = tree
-        self._suppressions = self._parse_noqa(self.lines)
+        self._suppressions = (
+            suppressions if suppressions is not None else parse_suppressions(source)
+        )
+        #: line -> rule ids a suppression actually absorbed during this run
+        #: (the driver consults it to flag stale comments as noqa-unused).
+        self.used_suppressions: Dict[int, Set[str]] = {}
 
-    @staticmethod
-    def _parse_noqa(lines: Sequence[str]) -> Dict[int, Optional[Set[str]]]:
-        """Map line number -> suppressed rule ids (None = all rules)."""
-        out: Dict[int, Optional[Set[str]]] = {}
-        for lineno, text in enumerate(lines, start=1):
-            match = _NOQA_RE.search(text)
-            if match is None:
-                continue
-            raw = match.group("rules")
-            if raw is None:
-                out[lineno] = None
-            else:
-                out[lineno] = {part.strip() for part in raw.split(",") if part.strip()}
-        return out
+    @property
+    def suppressions(self) -> Dict[int, Optional[Set[str]]]:
+        return dict(self._suppressions)
 
     def suppressed(self, rule_id: str, line: int) -> bool:
         if line not in self._suppressions:
             return False
         rules = self._suppressions[line]
-        return rules is None or rule_id in rules
+        if rules is None or rule_id in rules:
+            self.used_suppressions.setdefault(line, set()).add(rule_id)
+            return True
+        return False
+
+
+# ----------------------------------------------------------------------
+# parse cache
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class ParsedFile:
+    """Cached parse of one source file (tree or error, plus suppressions)."""
+
+    source: str
+    tree: Optional[ast.AST]
+    error: Optional[Tuple[int, int, str]]  # (line, col, message)
+    suppressions: Mapping[int, Optional[frozenset]]
+
+
+_AST_CACHE: Dict[str, Tuple[Tuple[int, int], ParsedFile]] = {}
+_CACHE_STATS = {"hits": 0, "misses": 0}
+
+
+def ast_cache_stats() -> Dict[str, int]:
+    """Hit/miss counters for the parse cache (reset by clear_ast_cache)."""
+    return dict(_CACHE_STATS)
+
+
+def clear_ast_cache() -> None:
+    _AST_CACHE.clear()
+    _CACHE_STATS["hits"] = 0
+    _CACHE_STATS["misses"] = 0
+
+
+def _parse_file(file: Path) -> ParsedFile:
+    """Parse ``file``, reusing the cache when (mtime_ns, size) is unchanged."""
+    try:
+        stat = file.stat()
+        key: Optional[Tuple[int, int]] = (stat.st_mtime_ns, stat.st_size)
+    except OSError:
+        key = None
+    cache_id = str(file.resolve())
+    if key is not None:
+        cached = _AST_CACHE.get(cache_id)
+        if cached is not None and cached[0] == key:
+            _CACHE_STATS["hits"] += 1
+            return cached[1]
+    _CACHE_STATS["misses"] += 1
+    source = file.read_text(encoding="utf-8")
+    try:
+        tree = ast.parse(source, filename=str(file))
+    except SyntaxError as exc:
+        parsed = ParsedFile(
+            source, None, (exc.lineno or 1, exc.offset or 0, exc.msg or "syntax error"), {}
+        )
+    else:
+        parsed = ParsedFile(
+            source,
+            tree,
+            None,
+            {
+                line: (None if rules is None else frozenset(rules))
+                for line, rules in parse_suppressions(source).items()
+            },
+        )
+    if key is not None:
+        _AST_CACHE[cache_id] = (key, parsed)
+    return parsed
 
 
 def package_relative(path: Path, root: Path) -> str:
@@ -166,29 +274,97 @@ def lint_paths(
         if unknown:
             raise KeyError(f"unknown rule id(s): {sorted(unknown)}")
         active = [rule for rule in active if rule.id in wanted]
+    # noqa-unused is evaluated by the driver (it needs the suppression
+    # usage ledger), and only on full runs: under --select a comment may
+    # look stale merely because its rule was deselected.
+    check_stale_noqa = config.select is None and any(
+        rule.id == "noqa-unused" for rule in active
+    )
+    active = [rule for rule in active if not getattr(rule, "engine_level", False)]
 
     findings: List[Finding] = []
     for file, scan_root in iter_python_files(paths):
         rel = package_relative(file, scan_root)
-        source = file.read_text(encoding="utf-8")
-        try:
-            tree = ast.parse(source, filename=str(file))
-        except SyntaxError as exc:
-            findings.append(
-                Finding(str(file), exc.lineno or 1, exc.offset or 0, PARSE_ERROR, exc.msg or "syntax error")
-            )
+        parsed = _parse_file(file)
+        if parsed.error is not None:
+            line, col, message = parsed.error
+            findings.append(Finding(str(file), line, col, PARSE_ERROR, message))
             continue
-        ctx = FileContext(file, rel, source, tree)
+        ctx = FileContext(
+            file,
+            rel,
+            parsed.source,
+            parsed.tree,
+            {
+                lineno: (None if rules_ is None else set(rules_))
+                for lineno, rules_ in parsed.suppressions.items()
+            },
+        )
+        ran: List = []
         for rule in active:
             if rule.scope is not None and not _matches_any(rel, rule.scope):
                 continue
             if config.allowed(rule.id, rel):
                 continue
+            ran.append(rule)
             for finding in rule.check(ctx):
                 if not ctx.suppressed(finding.rule_id, finding.line):
                     findings.append(finding)
+        if check_stale_noqa and not config.allowed("noqa-unused", rel):
+            findings.extend(_stale_suppressions(ctx, ran))
     findings.sort()
     return findings
+
+
+def _stale_suppressions(ctx: FileContext, ran: Sequence) -> List[Finding]:
+    """noqa comments in ``ctx`` that absorbed nothing this run.
+
+    A listed rule id is only reported when its rule actually ran on this
+    file (unknown ids are always reported — they can never fire); a line
+    listing ``noqa-unused`` itself opts out.  These findings deliberately
+    bypass the suppression map: the stale comment must not hide its own
+    staleness.
+    """
+    from repro.analysis.rules import all_rules
+
+    registry = all_rules()
+    ran_ids = {rule.id for rule in ran}
+    out: List[Finding] = []
+    for line in sorted(ctx.suppressions):
+        listed = ctx.suppressions[line]
+        used = ctx.used_suppressions.get(line, set())
+        if listed is None:
+            if not used:
+                out.append(
+                    Finding(
+                        str(ctx.path), line, 0, "noqa-unused",
+                        "blanket '# repro: noqa' suppresses nothing here; remove it",
+                    )
+                )
+            continue
+        if "noqa-unused" in listed:
+            continue
+        for rule_id in sorted(listed):
+            if rule_id in used:
+                continue
+            if rule_id not in registry:
+                out.append(
+                    Finding(
+                        str(ctx.path), line, 0, "noqa-unused",
+                        f"noqa[{rule_id}] names an unknown rule; remove or fix the id",
+                    )
+                )
+            elif rule_id in ran_ids:
+                out.append(
+                    Finding(
+                        str(ctx.path), line, 0, "noqa-unused",
+                        f"noqa[{rule_id}] suppresses nothing here; the rule no longer "
+                        "fires on this line",
+                    )
+                )
+            # rule exists but was scope/allowlist-excluded on this file:
+            # staleness is unverifiable, stay silent
+    return out
 
 
 # ----------------------------------------------------------------------
@@ -256,3 +432,46 @@ def stale_allowlist_entries(root: Path, config: Optional[LintConfig] = None) -> 
             if not target.exists():
                 stale.append((rule_id, prefix))
     return stale
+
+
+def changed_files(
+    paths: Sequence[Path],
+    base: Optional[str] = None,
+    repo_root: Optional[Path] = None,
+) -> List[Path]:
+    """Python files under ``paths`` modified vs ``base`` (git), plus untracked.
+
+    Backs ``repro.cli lint --changed``: ``git diff --name-only <base>``
+    (default HEAD) unioned with untracked files, filtered to ``*.py``
+    under the requested paths.  Raises ``RuntimeError`` when git fails
+    (not a repository, unknown base) — the CLI maps that to exit 2.
+    """
+    import subprocess
+
+    root = Path(repo_root) if repo_root is not None else Path.cwd()
+    names: Set[str] = set()
+    commands = [
+        ["git", "diff", "--name-only", base or "HEAD"],
+        ["git", "ls-files", "--others", "--exclude-standard"],
+    ]
+    for command in commands:
+        try:
+            result = subprocess.run(
+                command, cwd=root, capture_output=True, text=True, check=True
+            )
+        except (OSError, subprocess.CalledProcessError) as exc:
+            detail = getattr(exc, "stderr", "") or str(exc)
+            raise RuntimeError(f"{' '.join(command)} failed: {detail.strip()}") from exc
+        names.update(line.strip() for line in result.stdout.splitlines() if line.strip())
+
+    requested = [Path(p).resolve() for p in paths]
+    out: List[Path] = []
+    for name in sorted(names):
+        candidate = (root / name).resolve()
+        if candidate.suffix != ".py" or not candidate.is_file():
+            continue
+        for req in requested:
+            if candidate == req or req in candidate.parents:
+                out.append(candidate)
+                break
+    return out

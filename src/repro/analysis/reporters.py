@@ -46,3 +46,59 @@ def report_as_dict(findings: Sequence[Finding], files_scanned: int = 0) -> Dict:
 
 def render_json(findings: Sequence[Finding], files_scanned: int = 0) -> str:
     return json.dumps(report_as_dict(findings, files_scanned), indent=2)
+
+
+# ----------------------------------------------------------------------
+# `repro.cli check` — contract-checker reports
+# ----------------------------------------------------------------------
+def render_check_text(report) -> str:
+    """Text report for a :class:`~repro.analysis.contracts.CheckReport`.
+
+    Finding lines reuse the lint ``path:line:col: rule-id message`` shape
+    (path is ``model:module.path``), so the same greps work on both.
+    """
+    lines: List[str] = [f.render() for f in report.findings]
+    noun = "finding" if len(report.findings) == 1 else "findings"
+    lines.append(
+        f"{len(report.findings)} {noun} in {len(report.models)} models "
+        f"({report.traces} traces, {report.ops_traced} ops)"
+    )
+    return "\n".join(lines)
+
+
+def check_report_as_dict(report) -> Dict:
+    """Versioned JSON envelope for ``repro.cli check --format json``."""
+    counts = Counter(f.rule_id for f in report.findings)
+    return {
+        "version": JSON_SCHEMA_VERSION,
+        "models": list(report.models),
+        "traces": report.traces,
+        "ops_traced": report.ops_traced,
+        "total": len(report.findings),
+        "counts": dict(sorted(counts.items())),
+        "findings": [
+            {
+                "path": f.path,
+                "line": f.line,
+                "col": f.col,
+                "rule_id": f.rule_id,
+                "message": f.message,
+            }
+            for f in report.findings
+        ],
+        "cells": [
+            {
+                "model": cell.model,
+                "mode": cell.mode,
+                "geometry": cell.geometry,
+                "batch": cell.batch,
+                "violations": len(cell.violations),
+                "output": cell.output,
+            }
+            for cell in report.cells
+        ],
+    }
+
+
+def render_check_json(report) -> str:
+    return json.dumps(check_report_as_dict(report), indent=2)

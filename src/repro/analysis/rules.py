@@ -27,9 +27,18 @@ The rules encode this repo's correctness invariants:
     ``tensor/``) make forward/backward passes nondeterministic;
     monotonic timers for profiling hooks are fine.
 ``no-float64-literal``
-    Hard-coded ``np.float64`` in ``nn/``/``core/`` pins arrays to double
-    precision and silently defeats the float32 inference fast path — take
-    the dtype from the input or :func:`repro.tensor.get_default_dtype`.
+    Hard-coded ``np.float64`` in ``nn/``/``core/``/``baselines/`` pins
+    arrays to double precision and silently defeats the float32 inference
+    fast path — take the dtype from the input or
+    :func:`repro.tensor.get_default_dtype`.
+``inference-mode-required``
+    Predict/evaluate/sample paths must use the tape-free
+    :func:`repro.tensor.inference_mode` fast path, not bare ``no_grad``
+    (which still takes the activation-saving kernel branches).
+``noqa-unused``
+    A ``# repro: noqa`` comment whose rule no longer fires on that line
+    is a silent blind spot waiting for the next regression; the lint
+    driver flags it (full runs only — see ``analysis/lint.py``).
 """
 
 from __future__ import annotations
@@ -269,8 +278,8 @@ class NoWallclock(Rule):
 @register
 class NoFloat64Literal(Rule):
     id = "no-float64-literal"
-    description = "hard-coded np.float64 in nn//core/ — defeats the float32 compute mode"
-    scope = ("nn/", "core/")
+    description = "hard-coded np.float64 in nn//core//baselines/ — defeats the float32 compute mode"
+    scope = ("nn/", "core/", "baselines/")
 
     @staticmethod
     def _is_np_float64(node: ast.expr) -> bool:
@@ -298,3 +307,52 @@ class NoFloat64Literal(Rule):
                             "dtype=np.float64 pins this array to double precision; derive the "
                             "dtype from the input or repro.tensor.get_default_dtype()",
                         )
+
+
+@register
+class InferenceModeRequired(Rule):
+    id = "inference-mode-required"
+    description = "bare no_grad() in a predict/evaluate path — use inference_mode()"
+
+    #: function-name prefixes that mark a forward-only serving/eval path
+    _FN_PREFIXES = ("predict", "evaluate", "infer", "sample", "forecast")
+
+    @staticmethod
+    def _is_no_grad_call(expr: ast.expr) -> bool:
+        if not isinstance(expr, ast.Call):
+            return False
+        func = expr.func
+        if isinstance(func, ast.Name):
+            return func.id == "no_grad"
+        return isinstance(func, ast.Attribute) and func.attr == "no_grad"
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            if not node.name.lstrip("_").startswith(self._FN_PREFIXES):
+                continue
+            for sub in ast.walk(node):
+                if not isinstance(sub, (ast.With, ast.AsyncWith)):
+                    continue
+                for item in sub.items:
+                    if self._is_no_grad_call(item.context_expr):
+                        yield self.finding(
+                            ctx, item.context_expr,
+                            f"{node.name}() is a forward-only path: no_grad() still takes "
+                            "the activation-saving kernel branches; use "
+                            "repro.tensor.inference_mode()",
+                        )
+
+
+@register
+class NoqaUnused(Rule):
+    id = "noqa-unused"
+    description = "suppression comment whose rule no longer fires on that line"
+
+    #: evaluated by the lint driver after all other rules ran on a file —
+    #: only it knows which findings each suppression comment absorbed.
+    engine_level = True
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        return iter(())

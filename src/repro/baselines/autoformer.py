@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.baselines.base import ForecastModel
+from repro.baselines.base import ForecastModel, forecaster_contract
 from repro.core.decomp import SeriesDecomposition
 from repro.nn import (
     AutoCorrelation,
@@ -118,6 +118,7 @@ class Autoformer(ForecastModel):
         self.norm = LayerNorm(d_model)
         self.projection = Linear(d_model, c_out, rng=rng)
 
+    @forecaster_contract
     def forward(self, x_enc: Tensor, x_mark_enc: Tensor, x_dec: Tensor, y_mark_dec: Tensor) -> Tensor:
         batch = x_enc.shape[0]
         label_len = x_dec.shape[1] - self.pred_len

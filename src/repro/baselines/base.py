@@ -14,8 +14,28 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.analysis.contracts.spec import shape_contract
 from repro.nn import Module
 from repro.tensor import Tensor, functional as F
+
+#: The forecaster-protocol shape contract every baseline forward declares:
+#: encoder window (B, L, D) + time marks (B, L, M), decoder window
+#: (B, label_len+pred_len, D) + marks, horizon output (B, H, C).
+#: Verified by ``repro.cli check`` (see docs/static-analysis.md).
+FORECASTER_CONTRACT = dict(
+    inputs={
+        "x_enc": "B L D",
+        "x_mark_enc": "B L M",
+        "x_dec": "B Ldec D",
+        "y_mark_dec": "B Ldec M",
+    },
+    output="B H C",
+)
+
+
+def forecaster_contract(fn):
+    """Attach the shared forecaster-protocol contract to a forward method."""
+    return shape_contract(**FORECASTER_CONTRACT)(fn)
 
 
 class ForecastModel(Module):

@@ -14,7 +14,7 @@ from typing import List, Optional, Tuple
 
 import numpy as np
 
-from repro.baselines.base import ForecastModel
+from repro.baselines.base import ForecastModel, forecaster_contract
 from repro.nn import GRU, Linear
 from repro.tensor import Tensor, functional as F, inference_mode
 from repro.tensor.random import spawn_rng
@@ -75,6 +75,7 @@ class DeepAR(ForecastModel):
         return F.stack(mus, axis=1), F.stack(sigmas, axis=1)
 
     # -- forecaster protocol -------------------------------------------------
+    @forecaster_contract
     def forward(self, x_enc: Tensor, x_mark_enc: Tensor, x_dec: Tensor, y_mark_dec: Tensor) -> Tensor:
         mu, sigma = self._teacher_forced(x_enc, x_mark_enc, x_dec, y_mark_dec)
         self._last_sigma = sigma

@@ -10,7 +10,7 @@ on the LTTF benchmarks — a useful sanity anchor for this repository.
 
 from __future__ import annotations
 
-from repro.baselines.base import ForecastModel
+from repro.baselines.base import ForecastModel, forecaster_contract
 from repro.core.decomp import SeriesDecomposition
 from repro.nn import Linear
 from repro.tensor import Tensor
@@ -46,6 +46,7 @@ class DLinear(ForecastModel):
             self.trend_linear = Linear(input_len, pred_len, rng=rng)
             self.seasonal_linear = Linear(input_len, pred_len, rng=rng)
 
+    @forecaster_contract
     def forward(self, x_enc: Tensor, x_mark_enc: Tensor, x_dec: Tensor, y_mark_dec: Tensor) -> Tensor:
         trend, seasonal = self.decomp(x_enc)  # (B, L, C)
         trend_t = trend.swapaxes(1, 2)  # (B, C, L)

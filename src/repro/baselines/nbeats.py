@@ -9,7 +9,7 @@ network channel-independently by folding channels into the batch.
 
 from __future__ import annotations
 
-from repro.baselines.base import ForecastModel
+from repro.baselines.base import ForecastModel, forecaster_contract
 from repro.nn import Linear, Module, ModuleList, ReLU, Sequential
 from repro.tensor import Tensor
 from repro.tensor.random import spawn_rng
@@ -55,6 +55,7 @@ class NBeats(ForecastModel):
         self.c_out = c_out
         self.blocks = ModuleList([NBeatsBlock(input_len, pred_len, hidden_size, rng=rng) for _ in range(n_blocks)])
 
+    @forecaster_contract
     def forward(self, x_enc: Tensor, x_mark_enc: Tensor, x_dec: Tensor, y_mark_dec: Tensor) -> Tensor:
         batch, length, channels = x_enc.shape
         # fold channels into the batch: (B, L, C) -> (B*C, L)

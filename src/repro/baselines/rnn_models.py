@@ -6,7 +6,7 @@ connections are omitted to simplify parameter tuning.
 
 from __future__ import annotations
 
-from repro.baselines.base import ForecastModel
+from repro.baselines.base import ForecastModel, forecaster_contract
 from repro.nn import GRU, Conv1d, Dropout, Linear, ReLU
 from repro.tensor import Tensor, functional as F
 from repro.tensor.random import spawn_rng
@@ -39,6 +39,7 @@ class GRUForecaster(ForecastModel):
         self.rnn = GRU(enc_in + d_time, hidden_size, num_layers=num_layers, dropout=dropout, rng=rng)
         self.head = Linear(hidden_size, pred_len * c_out, rng=rng)
 
+    @forecaster_contract
     def forward(self, x_enc: Tensor, x_mark_enc: Tensor, x_dec: Tensor, y_mark_dec: Tensor) -> Tensor:
         inputs = F.concat([x_enc, x_mark_enc], axis=-1)
         _, states = self.rnn(inputs)
@@ -79,6 +80,7 @@ class LSTNet(ForecastModel):
         self.rnn = GRU(conv_channels, hidden_size, num_layers=1, rng=rng)
         self.head = Linear(hidden_size, pred_len * c_out, rng=rng)
 
+    @forecaster_contract
     def forward(self, x_enc: Tensor, x_mark_enc: Tensor, x_dec: Tensor, y_mark_dec: Tensor) -> Tensor:
         inputs = F.concat([x_enc, x_mark_enc], axis=-1)
         features = self.dropout(self.activation(self.conv(inputs)))

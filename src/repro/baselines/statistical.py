@@ -66,7 +66,7 @@ class ARForecaster:
         self.intercept_: np.ndarray | None = None  # (C,)
 
     def fit(self, train_values: np.ndarray) -> "ARForecaster":
-        values = np.asarray(train_values, dtype=np.float64)
+        values = np.asarray(train_values, dtype=np.float64)  # repro: noqa[no-float64-literal] lstsq conditioning; numpy-only path, never under compute_dtype
         n, channels = values.shape
         if n <= self.order:
             raise ValueError("training series shorter than AR order")
@@ -87,7 +87,7 @@ class ARForecaster:
     def predict(self, x_enc: np.ndarray) -> np.ndarray:
         if self.coef_ is None:
             raise RuntimeError("ARForecaster used before fit()")
-        x = np.asarray(x_enc, dtype=np.float64)
+        x = np.asarray(x_enc, dtype=np.float64)  # repro: noqa[no-float64-literal] lstsq conditioning; numpy-only path, never under compute_dtype
         batch, length, channels = x.shape
         if length < self.order:
             raise ValueError("input window shorter than AR order")
@@ -119,14 +119,14 @@ class ARIMAForecaster:
         self._ar = ARForecaster(pred_len=pred_len, order=order, ridge=ridge)
 
     def fit(self, train_values: np.ndarray) -> "ARIMAForecaster":
-        values = np.asarray(train_values, dtype=np.float64)
+        values = np.asarray(train_values, dtype=np.float64)  # repro: noqa[no-float64-literal] lstsq conditioning; numpy-only path, never under compute_dtype
         for _ in range(self.d):
             values = np.diff(values, axis=0)
         self._ar.fit(values)
         return self
 
     def predict(self, x_enc: np.ndarray) -> np.ndarray:
-        x = np.asarray(x_enc, dtype=np.float64)
+        x = np.asarray(x_enc, dtype=np.float64)  # repro: noqa[no-float64-literal] lstsq conditioning; numpy-only path, never under compute_dtype
         # difference the window, forecast differences, then re-integrate
         tails = []  # last value at each differencing level, innermost last
         for _ in range(self.d):
@@ -150,7 +150,7 @@ class VARForecaster:
         self.coef_: np.ndarray | None = None  # (order * C + 1, C)
 
     def fit(self, train_values: np.ndarray) -> "VARForecaster":
-        values = np.asarray(train_values, dtype=np.float64)
+        values = np.asarray(train_values, dtype=np.float64)  # repro: noqa[no-float64-literal] lstsq conditioning; numpy-only path, never under compute_dtype
         n, channels = values.shape
         if n <= self.order:
             raise ValueError("training series shorter than VAR order")
@@ -167,7 +167,7 @@ class VARForecaster:
     def predict(self, x_enc: np.ndarray) -> np.ndarray:
         if self.coef_ is None:
             raise RuntimeError("VARForecaster used before fit()")
-        x = np.asarray(x_enc, dtype=np.float64)
+        x = np.asarray(x_enc, dtype=np.float64)  # repro: noqa[no-float64-literal] lstsq conditioning; numpy-only path, never under compute_dtype
         batch, length, channels = x.shape
         history = x[:, -self.order :, :].copy()
         outputs = np.empty((batch, self.pred_len, channels))

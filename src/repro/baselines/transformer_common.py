@@ -11,7 +11,7 @@ from __future__ import annotations
 
 from typing import Callable, Optional
 
-from repro.baselines.base import ForecastModel
+from repro.baselines.base import ForecastModel, forecaster_contract
 from repro.nn import (
     AttentionMechanism,
     Conv1d,
@@ -143,6 +143,7 @@ class TransformerForecaster(ForecastModel):
 
         self.projection = Linear(d_model, c_out, rng=rng)
 
+    @forecaster_contract
     def forward(self, x_enc: Tensor, x_mark_enc: Tensor, x_dec: Tensor, y_mark_dec: Tensor) -> Tensor:
         enc = self.enc_embedding(x_enc, x_mark_enc)
         for i, layer in enumerate(self.encoder_layers):

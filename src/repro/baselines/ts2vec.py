@@ -14,7 +14,7 @@ from typing import List
 
 import numpy as np
 
-from repro.baselines.base import ForecastModel
+from repro.baselines.base import ForecastModel, forecaster_contract
 from repro.nn import Conv1d, GELU, LayerNorm, Linear, Module, ModuleList
 from repro.tensor import Tensor, functional as F
 from repro.tensor.random import spawn_rng
@@ -122,6 +122,7 @@ class TS2Vec(ForecastModel):
         """Per-timestep representations (B, L, d_repr)."""
         return self.encoder(F.concat([x_enc, x_mark_enc], axis=-1))
 
+    @forecaster_contract
     def forward(self, x_enc: Tensor, x_mark_enc: Tensor, x_dec: Tensor, y_mark_dec: Tensor) -> Tensor:
         representation = self.encode(x_enc, x_mark_enc)
         if self.training and x_enc.shape[1] >= 8:

@@ -254,6 +254,17 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     if missing:
         print(f"error: no such path: {', '.join(str(p) for p in missing)}", file=sys.stderr)
         return 2
+    if args.changed:
+        from repro.analysis.lint import changed_files
+
+        try:
+            paths = changed_files(paths, base=args.base)
+        except RuntimeError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        if not paths:
+            print("0 findings in 0 files (no changed python files)")
+            return 0
     config = default_config(paths)
     if args.select:
         config = replace(config, select=tuple(s.strip() for s in args.select.split(",") if s.strip()))
@@ -268,6 +279,25 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     else:
         print(render_text(findings, files_scanned))
     return 1 if findings else 0
+
+
+def _cmd_check(args: argparse.Namespace) -> int:
+    from repro.analysis.contracts import check_registry
+    from repro.analysis.reporters import render_check_json, render_check_text
+
+    models = None
+    if args.models:
+        models = [m.strip() for m in args.models.split(",") if m.strip()]
+        unknown = sorted(set(models) - set(available_models()))
+        if unknown:
+            print(f"error: unknown model(s): {', '.join(unknown)}", file=sys.stderr)
+            return 2
+    report = check_registry(models=models, smoke=args.smoke, seed=args.seed)
+    if args.format == "json":
+        print(render_check_json(report))
+    else:
+        print(render_check_text(report))
+    return 1 if report.findings else 0
 
 
 def _cmd_ckpt_inspect(args: argparse.Namespace) -> int:
@@ -368,7 +398,21 @@ def build_parser() -> argparse.ArgumentParser:
     lint_p.add_argument("--format", choices=["text", "json"], default="text")
     lint_p.add_argument("--select", default=None, help="comma-separated rule ids to run (default: all)")
     lint_p.add_argument("--list-rules", action="store_true", dest="list_rules", help="print the rule catalogue")
+    lint_p.add_argument(
+        "--changed", action="store_true",
+        help="lint only files modified vs --base (git diff + untracked), for pre-commit use",
+    )
+    lint_p.add_argument("--base", default=None, help="git ref to diff against (default: HEAD)")
     lint_p.set_defaults(fn=_cmd_lint)
+
+    check_p = sub.add_parser(
+        "check", help="symbolic shape/dtype contract checker over the model registry"
+    )
+    check_p.add_argument("--models", default=None, help="comma-separated registry names (default: all)")
+    check_p.add_argument("--smoke", action="store_true", help="single geometry and batch probe (tier-1 speed)")
+    check_p.add_argument("--seed", type=int, default=0, help="build seed for traced models")
+    check_p.add_argument("--format", choices=["text", "json"], default="text")
+    check_p.set_defaults(fn=_cmd_check)
 
     bench_p = sub.add_parser("bench", help="performance benchmarks (training step / inference forward)")
     bench_p.add_argument("--inference", action="store_true", help="forward-only inference benchmark (BENCH_inference.json)")

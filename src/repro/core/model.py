@@ -13,6 +13,7 @@ from typing import Dict, Optional, Tuple
 
 import numpy as np
 
+from repro.analysis.contracts.spec import shape_contract
 from repro.core.config import ConformerConfig
 from repro.core.flow import NormalizingFlow
 from repro.core.input_repr import InputRepresentation
@@ -85,6 +86,15 @@ class Conformer(Module):
     def _pick_hidden(self, states, which: str) -> Tensor:
         return states[0] if which == "first" else states[-1]
 
+    @shape_contract(
+        inputs={
+            "x_enc": "B L D",
+            "x_mark_enc": "B L M",
+            "x_dec": "B Ldec D",
+            "y_mark_dec": "B Ldec M",
+        },
+        output=("B H C", None),  # z_out is absent when flows are disabled
+    )
     def forward(
         self,
         x_enc: Tensor,

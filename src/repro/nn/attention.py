@@ -26,11 +26,18 @@ from typing import Optional
 
 import numpy as np
 
+from repro.analysis.contracts.spec import shape_contract
 from repro.nn.layers import Dropout, Linear
 from repro.nn.module import Module
 from repro.tensor import Tensor, functional as F, get_arena, get_default_dtype, is_inference_mode, plan_cache
 
 _NEG_INF = -1e9
+
+#: Shared contract for every mechanism: heads-split inputs, same-shape output.
+_MECHANISM_CONTRACT = dict(
+    inputs={"q": "B N Lq Dh", "k": "B N Lk Dh", "v": "B N Lk Dh"},
+    output="B N Lq Dh",
+)
 
 
 def causal_mask(length: int) -> np.ndarray:
@@ -88,6 +95,7 @@ class FullAttention(AttentionMechanism):
         self.dropout = Dropout(dropout)
         self.causal = causal
 
+    @shape_contract(**_MECHANISM_CONTRACT)
     def forward(self, q: Tensor, k: Tensor, v: Tensor, mask: Optional[np.ndarray] = None) -> Tensor:
         d_head = q.shape[-1]
         scores = (q @ k.swapaxes(-1, -2)) / math.sqrt(d_head)
@@ -123,6 +131,7 @@ class SlidingWindowAttention(AttentionMechanism):
         idx, _ = _window_plan(length, self.half, self.causal)
         return x[:, :, idx, :]  # fancy index on axis 2 -> (B, H, L, w+1, d)
 
+    @shape_contract(**_MECHANISM_CONTRACT)
     def forward(self, q: Tensor, k: Tensor, v: Tensor, mask: Optional[np.ndarray] = None) -> Tensor:
         if k.shape[-2] != q.shape[-2]:
             raise ValueError("sliding-window attention requires self-attention (L_q == L_k)")
@@ -195,6 +204,7 @@ class GlobalWindowAttention(AttentionMechanism):
 
         return plan_cache().get(("global_plan", length, self.window, self.n_global, str(dt)), build)
 
+    @shape_contract(**_MECHANISM_CONTRACT)
     def forward(self, q: Tensor, k: Tensor, v: Tensor, mask: Optional[np.ndarray] = None) -> Tensor:
         if k.shape[-2] != q.shape[-2]:
             raise ValueError("global-window attention requires self-attention (L_q == L_k)")
@@ -269,6 +279,7 @@ class LogSparseAttention(AttentionMechanism):
         """True marks disallowed positions (cached per (l_q, l_k, sub_len))."""
         return _log_sparse_mask(l_q, l_k, self.sub_len)
 
+    @shape_contract(**_MECHANISM_CONTRACT)
     def forward(self, q: Tensor, k: Tensor, v: Tensor, mask: Optional[np.ndarray] = None) -> Tensor:
         block = self.log_mask(q.shape[-2], k.shape[-2])
         combined = block if mask is None else (mask | block)
@@ -292,6 +303,7 @@ class ProbSparseAttention(AttentionMechanism):
         self.causal = causal
         self._rng = np.random.default_rng(seed)
 
+    @shape_contract(**_MECHANISM_CONTRACT)
     def forward(self, q: Tensor, k: Tensor, v: Tensor, mask: Optional[np.ndarray] = None) -> Tensor:
         batch, heads, l_q, d_head = q.shape
         l_k = k.shape[-2]
@@ -362,6 +374,7 @@ class LSHAttention(AttentionMechanism):
         self._rng = np.random.default_rng(seed)
         self.inner = FullAttention(dropout=dropout)
 
+    @shape_contract(**_MECHANISM_CONTRACT)
     def forward(self, q: Tensor, k: Tensor, v: Tensor, mask: Optional[np.ndarray] = None) -> Tensor:
         batch, heads, length, d_head = q.shape
         chunk = min(self.bucket_length, length)
@@ -417,6 +430,7 @@ class AutoCorrelation(AttentionMechanism):
         self.factor = factor
         self.dropout = Dropout(dropout)
 
+    @shape_contract(**_MECHANISM_CONTRACT)
     def forward(self, q: Tensor, k: Tensor, v: Tensor, mask: Optional[np.ndarray] = None) -> Tensor:
         batch, heads, length, d_head = q.shape
         if k.shape[-2] != length:  # align key/value length to queries (as Autoformer does)
@@ -531,6 +545,10 @@ class MultiHeadAttention(Module):
         batch, heads, length, d_head = x.shape
         return x.transpose(0, 2, 1, 3).reshape(batch, length, heads * d_head)
 
+    @shape_contract(
+        inputs={"query": "B Lq Dm", "key": "B Lk Dm", "value": "B Lk Dm"},
+        output="B Lq Dm",
+    )
     def forward(
         self,
         query: Tensor,

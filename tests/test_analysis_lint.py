@@ -114,7 +114,8 @@ class TestSuppressionAndConfig:
     def test_noqa_for_other_rule_does_not_suppress(self, tmp_path):
         (tmp_path / "s.py").write_text("def log(m):\n    print(m)  # repro: noqa[no-data-write]\n")
         findings = lint_paths([tmp_path], config=LintConfig())
-        assert [f.rule_id for f in findings] == ["no-print"]
+        # the mismatched suppression is itself stale, so noqa-unused fires too
+        assert sorted(f.rule_id for f in findings) == ["no-print", "noqa-unused"]
 
     def test_allowlist_prefix_skips_directory(self, fixture_tree):
         config = LintConfig(allowlists={"no-wallclock": ("core/",)})

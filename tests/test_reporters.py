@@ -1,0 +1,127 @@
+"""Focused tests for repro.analysis.reporters.
+
+The lint reporters are exercised incidentally by the CLI tests; this
+module pins their behaviour directly — envelope versioning, count
+ordering, finding ordering, text formatting (singular/plural, summary
+line), the ``parse-error`` pseudo-rule path, and the ``repro.cli check``
+report renderers that share the envelope.
+"""
+
+import json
+
+import pytest
+
+from repro.analysis.contracts import check_registry
+from repro.analysis.lint import PARSE_ERROR, Finding, LintConfig, lint_paths
+from repro.analysis.reporters import (
+    JSON_SCHEMA_VERSION,
+    check_report_as_dict,
+    render_check_json,
+    render_check_text,
+    render_json,
+    render_text,
+    report_as_dict,
+)
+
+
+def _findings():
+    # deliberately unsorted construction order; rule ids out of order too
+    return [
+        Finding(path="a.py", line=3, col=4, rule_id="no-print", message="print call"),
+        Finding(path="a.py", line=3, col=0, rule_id="noqa-unused", message="stale"),
+        Finding(path="b.py", line=1, col=0, rule_id="no-print", message="print call"),
+    ]
+
+
+class TestTextReporter:
+    def test_one_line_per_finding_plus_summary(self):
+        text = render_text(_findings(), files_scanned=2)
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert lines[0] == "a.py:3:4: no-print print call"
+        assert lines[-1] == "3 findings in 2 files"
+
+    def test_singular_noun(self):
+        text = render_text(_findings()[:1], files_scanned=1)
+        assert text.endswith("1 finding in 1 files")
+
+    def test_empty_report_is_just_the_summary(self):
+        assert render_text([], files_scanned=5) == "0 findings in 5 files"
+
+
+class TestJsonReporter:
+    def test_envelope_version_and_totals(self):
+        payload = report_as_dict(_findings(), files_scanned=2)
+        assert payload["version"] == JSON_SCHEMA_VERSION == 1
+        assert payload["files_scanned"] == 2
+        assert payload["total"] == 3
+
+    def test_counts_are_sorted_by_rule_id(self):
+        payload = report_as_dict(_findings())
+        assert list(payload["counts"]) == ["no-print", "noqa-unused"]
+        assert payload["counts"]["no-print"] == 2
+
+    def test_findings_preserve_input_order(self):
+        # the reporter does not re-sort; ordering is the engine's contract
+        payload = report_as_dict(_findings())
+        assert [(f["path"], f["line"], f["col"]) for f in payload["findings"]] == [
+            ("a.py", 3, 4),
+            ("a.py", 3, 0),
+            ("b.py", 1, 0),
+        ]
+
+    def test_render_json_round_trips(self):
+        payload = json.loads(render_json(_findings(), files_scanned=2))
+        assert payload == report_as_dict(_findings(), files_scanned=2)
+
+    def test_finding_keys_are_stable(self):
+        sample = report_as_dict(_findings())["findings"][0]
+        assert set(sample) == {"path", "line", "col", "rule_id", "message"}
+
+
+class TestParseErrorPath:
+    def test_parse_error_renders_through_both_reporters(self, tmp_path):
+        (tmp_path / "broken.py").write_text("def broken(:\n")
+        findings = lint_paths([tmp_path], config=LintConfig())
+        assert [f.rule_id for f in findings] == [PARSE_ERROR]
+        text = render_text(findings, files_scanned=1)
+        assert PARSE_ERROR in text
+        assert text.endswith("1 finding in 1 files")
+        payload = report_as_dict(findings, files_scanned=1)
+        assert payload["counts"] == {PARSE_ERROR: 1}
+        assert "syntax" in payload["findings"][0]["message"].lower()
+
+
+class TestCheckReporters:
+    @pytest.fixture(scope="class")
+    def report(self):
+        return check_registry(models=["dlinear"], smoke=True)
+
+    def test_check_text_summary(self, report):
+        text = render_check_text(report)
+        assert text.endswith(
+            f"0 findings in 1 models ({report.traces} traces, {report.ops_traced} ops)"
+        )
+
+    def test_check_json_envelope(self, report):
+        payload = check_report_as_dict(report)
+        assert payload["version"] == JSON_SCHEMA_VERSION
+        assert payload["models"] == ["dlinear"]
+        assert payload["total"] == 0
+        assert payload["counts"] == {}
+        assert payload["traces"] == report.traces
+        assert payload["ops_traced"] > 0
+
+    def test_check_cells_carry_the_sweep_grid(self, report):
+        payload = check_report_as_dict(report)
+        cells = payload["cells"]
+        assert len(cells) == report.traces
+        assert {c["mode"] for c in cells} == {"float64", "float32"}
+        sample = cells[0]
+        assert set(sample) == {
+            "model", "mode", "geometry", "batch", "violations", "output",
+        }
+        assert all(c["violations"] == 0 for c in cells)
+
+    def test_check_json_round_trips(self, report):
+        assert json.loads(render_check_json(report)) == check_report_as_dict(report)
