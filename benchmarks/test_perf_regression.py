@@ -70,3 +70,54 @@ def test_inference_fast_path_speedup():
     # scratch actually got recycled: hits dominate misses across the run
     assert result["arena"]["hits"] > result["arena"]["misses"]
     assert result["plan_cache"]["hits"] > result["plan_cache"]["misses"]
+
+
+@pytest.mark.perf
+@pytest.mark.profile
+def test_op_profiler_overhead_when_disabled():
+    """An uninstalled op hook must not slow the training step.
+
+    Mirrors the sanitizer-off guard: ``Tensor._make`` pays one identity
+    check for the ``_OP_HOOK`` slot, so a run that never enters
+    ``op_profile()`` must stay within noise of the pre-profiler engine.
+    Measured as a self-relative bound: two interleaved timing arms of the
+    same workload, neither profiled, must agree — with the hook slot
+    confirmed empty throughout — while a *profiled* arm is allowed (and
+    expected) to cost more.
+    """
+    from time import perf_counter
+
+    import numpy as np
+
+    from repro.perf import op_profile
+    from repro.tensor import Tensor
+    from repro.tensor import tensor as tensor_mod
+
+    rng = np.random.default_rng(11)
+    x = Tensor(rng.normal(size=(32, 32)), requires_grad=True)
+
+    def step():
+        ((x @ x).relu().sum()).backward()
+        x.zero_grad()
+
+    def timed(n=60):
+        start = perf_counter()
+        for _ in range(n):
+            step()
+        return perf_counter() - start
+
+    assert tensor_mod._OP_HOOK is None
+    timed(10)  # warmup
+    arm_a, arm_b = timed(), timed()
+    assert tensor_mod._OP_HOOK is None
+    # both arms ran the identical disabled-mode code path; agreement
+    # within 2x bounds scheduler noise without a flaky absolute threshold
+    ratio = max(arm_a, arm_b) / min(arm_a, arm_b)
+    assert ratio < 2.0, f"disabled-mode timing unstable: {ratio:.2f}x"
+
+    with op_profile() as prof:
+        profiled = timed()
+    assert prof.total_calls > 0
+    # sanity: the profiled arm records, and the hook is gone afterwards
+    assert tensor_mod._OP_HOOK is None
+    assert profiled > 0.0

@@ -56,6 +56,10 @@ DEFAULT_ALLOWLISTS: Mapping[str, Tuple[str, ...]] = {
     # the autodiff engine and the optimizers mutate tensors by design;
     # checkpoint raw-buffer writes are confined to the atomic writer
     "no-data-write": ("optim/", "tensor/", "ckpt/atomic.py"),
+    # the op profiler reads time.time() once per session to anchor its
+    # monotonic timeline to calendar time for Chrome-trace export; it
+    # never feeds the clock into numerics
+    "no-wallclock": ("tensor/profiler.py",),
 }
 
 _REGISTRY: Dict[str, "Rule"] = {}

@@ -21,6 +21,15 @@ sweep
     Fig. 4-style sensitivity sweep over one Conformer hyper-parameter.
 obs report
     Summarize a JSONL run log (manifest, epochs, stages, anomalies).
+obs trace
+    Export a run log's span/op timeline as Chrome-trace JSON
+    (load in https://ui.perfetto.dev or chrome://tracing).
+bench
+    Performance benchmarks; every run is appended to the
+    ``benchmarks/results/history.jsonl`` ledger.
+bench diff
+    Compare the newest history record against an earlier run of the
+    same benchmark; exit 1 when a metric regressed past the threshold.
 ckpt inspect
     Verify a checkpoint directory: manifest rows, per-file integrity,
     retention flags, stray temp files from crashed writes.
@@ -171,7 +180,54 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     if not args.no_json:
         path = write_bench_json(result, args.json if args.json else Path(default_name))
         print(f"[saved to {path}]")
+    if not args.no_history:
+        from repro.perf.history import append_history
+
+        append_history(result, path=args.history)
+        print(f"[history appended to {args.history}]")
     return 0
+
+
+def _cmd_bench_diff(args: argparse.Namespace) -> int:
+    from repro.perf.history import (
+        diff_records,
+        find_base,
+        load_history,
+        render_diff,
+        smoke_check,
+    )
+
+    if args.smoke:
+        try:
+            print(smoke_check(threshold=args.threshold))
+        except RuntimeError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
+        return 0
+
+    records, skipped = load_history(args.history)
+    if skipped:
+        print(f"warning: skipped {skipped} malformed history line(s)", file=sys.stderr)
+    if args.benchmark:
+        records = [r for r in records if r.get("benchmark") == args.benchmark]
+    if not records:
+        print(f"error: no usable records in {args.history}", file=sys.stderr)
+        return 2
+    head = records[-1]
+    base = find_base(records, head, back=args.base)
+    if base is None:
+        print(
+            f"error: no base record {args.base} run(s) before the latest "
+            f"'{head.get('benchmark')}' entry (need at least {args.base + 1} runs)",
+            file=sys.stderr,
+        )
+        return 2
+    rows = diff_records(base, head, threshold=args.threshold)
+    if args.json:
+        print(json.dumps({"base": base, "head": head, "rows": rows}, indent=2))
+    else:
+        print(render_diff(rows, base, head, threshold=args.threshold, show_all=args.all))
+    return 1 if any(r["regression"] for r in rows) else 0
 
 
 def _cmd_diagnose(args: argparse.Namespace) -> int:
@@ -351,6 +407,24 @@ def _cmd_obs_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_obs_trace(args: argparse.Namespace) -> int:
+    from repro.obs import chrome_trace, load_run
+
+    run = load_run(args.path)
+    if run.skipped_lines:
+        print(f"warning: skipped {run.skipped_lines} malformed line(s)", file=sys.stderr)
+    trace = chrome_trace(run, include_ops=not args.no_ops)
+    output = Path(args.output) if args.output else args.path.with_suffix(".trace.json")
+    output.parent.mkdir(parents=True, exist_ok=True)
+    output.write_text(json.dumps(trace) + "\n", encoding="utf-8")
+    meta = trace["otherData"]
+    print(
+        f"wrote {output} ({meta['n_spans']} spans, {meta['n_ops']} ops) — "
+        "open in https://ui.perfetto.dev"
+    )
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(prog="repro", description=__doc__)
     sub = parser.add_subparsers(dest="command", required=True)
@@ -421,7 +495,36 @@ def build_parser() -> argparse.ArgumentParser:
     bench_p.add_argument("--warmup", type=int, default=2, help="untimed warmup passes (default 2)")
     bench_p.add_argument("--json", type=Path, default=None, help="artifact path (default ./BENCH_*.json)")
     bench_p.add_argument("--no-json", action="store_true", help="print only, do not write the artifact")
+    from repro.perf.history import DEFAULT_HISTORY_PATH, DEFAULT_THRESHOLD
+
+    bench_p.add_argument(
+        "--history", type=Path, default=DEFAULT_HISTORY_PATH,
+        help=f"bench-history ledger to append to (default {DEFAULT_HISTORY_PATH})",
+    )
+    bench_p.add_argument("--no-history", action="store_true", help="do not append this run to the ledger")
     bench_p.set_defaults(fn=_cmd_bench)
+    bench_sub = bench_p.add_subparsers(dest="bench_command")
+    diff_p = bench_sub.add_parser("diff", help="compare history records; exit 1 past the regression threshold")
+    diff_p.add_argument(
+        "--base", type=int, default=1, metavar="N",
+        help="compare the latest record against the N-th previous same-benchmark run (default 1)",
+    )
+    diff_p.add_argument(
+        "--threshold", type=float, default=DEFAULT_THRESHOLD,
+        help=f"relative regression threshold (default {DEFAULT_THRESHOLD:.0%})",
+    )
+    diff_p.add_argument("--benchmark", default=None, help="restrict to one benchmark name")
+    diff_p.add_argument(
+        "--history", type=Path, default=DEFAULT_HISTORY_PATH,
+        help=f"ledger to read (default {DEFAULT_HISTORY_PATH})",
+    )
+    diff_p.add_argument("--all", action="store_true", help="show every compared metric, not just movers")
+    diff_p.add_argument("--json", action="store_true", help="machine-readable output")
+    diff_p.add_argument(
+        "--smoke", action="store_true",
+        help="self-check: verify a seeded synthetic regression is detected (no ledger needed)",
+    )
+    diff_p.set_defaults(fn=_cmd_bench_diff)
 
     eff_p = sub.add_parser("efficiency", help="attention time/memory comparison (Fig. 5)")
     eff_p.add_argument("--lengths", default="64,128,256,512")
@@ -452,6 +555,17 @@ def build_parser() -> argparse.ArgumentParser:
     report_p.add_argument("path", type=Path, help="run log written via --log-jsonl / JSONLSink")
     report_p.add_argument("--json", action="store_true", help="machine-readable output")
     report_p.set_defaults(fn=_cmd_obs_report)
+    trace_p = obs_sub.add_parser("trace", help="export a Chrome-trace (Perfetto) timeline")
+    trace_p.add_argument("path", type=Path, help="run log written via --log-jsonl / JSONLSink")
+    trace_p.add_argument(
+        "-o", "--output", type=Path, default=None,
+        help="trace file to write (default: <run>.trace.json)",
+    )
+    trace_p.add_argument(
+        "--no-ops", action="store_true", dest="no_ops",
+        help="spans only — omit the op_profile timeline track",
+    )
+    trace_p.set_defaults(fn=_cmd_obs_trace)
 
     ckpt_p = sub.add_parser("ckpt", help="checkpoint tools")
     ckpt_sub = ckpt_p.add_subparsers(dest="ckpt_command", required=True)

@@ -24,7 +24,8 @@ Typical use::
 """
 
 from repro.obs.metrics import Counter, Gauge, MetricRegistry, StreamingHistogram
-from repro.obs.report import RunRecord, load_run, render_report, report_dict
+from repro.obs.report import RunRecord, load_jsonl, load_run, render_report, report_dict
+from repro.obs.trace import chrome_trace, render_flamegraph, write_chrome_trace
 from repro.obs.runlog import (
     NULL_LOGGER,
     AnomalyMonitor,
@@ -53,9 +54,13 @@ __all__ = [
     "StreamingHistogram",
     "Tracer",
     "build_manifest",
+    "chrome_trace",
     "git_revision",
+    "load_jsonl",
     "load_run",
+    "render_flamegraph",
     "render_report",
     "report_dict",
     "run_logger",
+    "write_chrome_trace",
 ]

@@ -29,42 +29,81 @@ class RunRecord:
     anomalies: List[Dict] = field(default_factory=list)
     spans: Dict[str, Dict] = field(default_factory=dict)
     metrics: Dict[str, Dict] = field(default_factory=dict)
+    op_profile: Dict = field(default_factory=dict)
+    #: malformed/truncated JSONL lines skipped by the loader
+    skipped_lines: int = 0
 
     def of_kind(self, kind: str) -> List[Dict]:
         return [e for e in self.events if e.get("kind") == kind]
 
 
-def load_run(path: Union[str, Path]) -> RunRecord:
-    """Parse a JSONL run log into a :class:`RunRecord`.
+def iter_jsonl(path: Union[str, Path]):
+    """Yield dict records from a JSONL file; return the skip count.
 
-    Tolerates trailing garbage lines (a crashed run may truncate its last
-    event) — malformed lines are skipped, not fatal.
+    Tolerant line-by-line reader shared by run logs and the bench
+    history: blank lines are ignored; lines that fail to parse or do not
+    hold a JSON object are *counted and skipped*, never fatal (a crashed
+    writer truncates its last line).  The skip count is the generator's
+    return value — use :func:`load_jsonl` for the plain
+    ``(records, skipped)`` pair.
     """
-    path = Path(path)
-    run = RunRecord(path=path)
+    skipped = 0
     with open(path, "r", encoding="utf-8") as stream:
         for line in stream:
             line = line.strip()
             if not line:
                 continue
             try:
-                event = json.loads(line)
+                record = json.loads(line)
             except json.JSONDecodeError:
+                skipped += 1
                 continue
-            if not isinstance(event, dict):
+            if not isinstance(record, dict):
+                skipped += 1
                 continue
-            run.events.append(event)
-            kind = event.get("kind")
-            if kind == "manifest" and not run.manifest:
-                run.manifest = event
-            elif kind == "epoch":
-                run.epochs.append(event)
-            elif kind == "anomaly":
-                run.anomalies.append(event)
-            elif kind == "spans":
-                run.spans = event.get("spans", {})
-            elif kind == "metrics":
-                run.metrics = event.get("metrics", {})
+            yield record
+    return skipped
+
+
+def load_jsonl(path: Union[str, Path]):
+    """All good records of a JSONL file plus the malformed-line count."""
+    records: List[Dict] = []
+    generator = iter_jsonl(path)
+    while True:
+        try:
+            records.append(next(generator))
+        except StopIteration as stop:
+            return records, int(stop.value or 0)
+
+
+def load_run(path: Union[str, Path]) -> RunRecord:
+    """Parse a JSONL run log into a :class:`RunRecord`.
+
+    Tolerates truncated or corrupt lines (a crashed run may cut its last
+    event mid-write) — each bad line is skipped and counted in
+    ``RunRecord.skipped_lines``; the report surfaces the count as a
+    warning instead of raising.
+    """
+    path = Path(path)
+    run = RunRecord(path=path)
+    events, run.skipped_lines = load_jsonl(path)
+    for event in events:
+        run.events.append(event)
+        kind = event.get("kind")
+        if kind == "manifest" and not run.manifest:
+            run.manifest = event
+        elif kind == "epoch":
+            run.epochs.append(event)
+        elif kind == "anomaly":
+            run.anomalies.append(event)
+        elif kind == "spans":
+            spans = event.get("spans", {})
+            run.spans = spans if isinstance(spans, dict) else {}
+        elif kind == "metrics":
+            metrics = event.get("metrics", {})
+            run.metrics = metrics if isinstance(metrics, dict) else {}
+        elif kind == "op_profile":
+            run.op_profile = event
     return run
 
 
@@ -92,11 +131,68 @@ _MANIFEST_KEYS = (
 )
 
 
-def render_report(run: RunRecord) -> str:
+def _render_op_profile(profile: Dict, top: int = 15) -> List[str]:
+    """Top-K per-op table with module attribution (``op_profile`` event).
+
+    Handles both the v2 schema (``top`` rows with wall seconds and bytes
+    from :class:`repro.perf.OpLevelProfiler`) and the legacy v1 layout
+    (``per_op`` with tape_nodes/backward_seconds only).
+    """
+    lines: List[str] = []
+    rows = profile.get("top")
+    if isinstance(rows, list) and rows:
+        lines.append(f"op profile (top {min(top, len(rows))} by wall time)")
+        lines.append(
+            f"  {'op':<18} {'module':<32} {'calls':>7} {'seconds':>10} {'MB':>8}"
+        )
+        lines.append("  " + "-" * 80)
+        for row in rows[:top]:
+            if not isinstance(row, dict):
+                continue
+            lines.append(
+                f"  {str(row.get('op', '?')):<18} {str(row.get('module', '?')):<32.32} "
+                f"{_fmt(row.get('calls'), 7)} {_fmt(row.get('seconds'), 10, 6)} "
+                f"{_fmt((row.get('nbytes') or 0) / 1e6, 8, 2)}"
+            )
+        memory = profile.get("memory")
+        if isinstance(memory, dict):
+            lines.append(
+                "  memory: "
+                f"allocated {memory.get('allocated_bytes', 0) / 1e6:.2f} MB, "
+                f"peak live {memory.get('peak_bytes', 0) / 1e6:.2f} MB, "
+                f"taped {memory.get('taped_nodes', 0)} nodes / "
+                f"{memory.get('taped_bytes', 0) / 1e6:.2f} MB"
+            )
+        return lines
+    per_op = profile.get("per_op")
+    if isinstance(per_op, dict) and per_op:
+        lines.append("op profile (tape nodes / backward time)")
+        lines.append(f"  {'op':<18} {'nodes':>8} {'backward s':>12}")
+        lines.append("  " + "-" * 40)
+        ranked = sorted(
+            per_op.items(),
+            key=lambda kv: -(kv[1].get("backward_seconds", 0.0) if isinstance(kv[1], dict) else 0.0),
+        )
+        for op, stats in ranked[:top]:
+            if not isinstance(stats, dict):
+                continue
+            lines.append(
+                f"  {op:<18} {_fmt(stats.get('tape_nodes'), 8)} "
+                f"{_fmt(stats.get('backward_seconds'), 12, 6)}"
+            )
+    return lines
+
+
+def render_report(run: RunRecord, top: int = 15) -> str:
     """Multi-section fixed-width report of one run log."""
     lines: List[str] = []
     title = str(run.path) if run.path is not None else "<run>"
     lines.append(f"run log: {title} ({len(run.events)} events)")
+    if run.skipped_lines:
+        lines.append(
+            f"warning: skipped {run.skipped_lines} malformed line(s) "
+            "(truncated or corrupt JSONL)"
+        )
 
     if run.manifest:
         lines.append("")
@@ -143,6 +239,17 @@ def render_report(run: RunRecord) -> str:
             mean_ms = (seconds / calls) * 1e3 if calls else 0.0
             lines.append(f"  {path:<36} {calls:>8} {seconds:>12.6f} {mean_ms:>10.3f}")
 
+    if run.spans:
+        from repro.obs.trace import render_flamegraph
+
+        lines.append("")
+        lines.append("span tree")
+        lines.append("  " + render_flamegraph(run.spans).replace("\n", "\n  "))
+
+    if run.op_profile:
+        lines.append("")
+        lines.extend(_render_op_profile(run.op_profile, top=top))
+
     if run.metrics:
         lines.append("")
         lines.append("metrics")
@@ -186,9 +293,11 @@ def report_dict(run: RunRecord) -> Dict:
     return {
         "path": str(run.path) if run.path is not None else None,
         "n_events": len(run.events),
+        "skipped_lines": run.skipped_lines,
         "manifest": run.manifest,
         "epochs": run.epochs,
         "spans": run.spans,
         "metrics": run.metrics,
+        "op_profile": run.op_profile,
         "anomalies": run.anomalies,
     }

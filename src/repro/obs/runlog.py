@@ -149,6 +149,10 @@ class RunLogger:
     ) -> None:
         self.sinks: List[Sink] = list(sinks)
         self.tracer = tracer if tracer is not None else Tracer()
+        if self.tracer.on_close is None:
+            # stream each closed span into the sinks so `obs trace` can
+            # rebuild the timeline (aggregates still land in close())
+            self.tracer.on_close = self._emit_span
         self.metrics = metrics if metrics is not None else MetricRegistry()
         self.anomaly_monitor = (
             anomaly_monitor if anomaly_monitor is not None else AnomalyMonitor()
@@ -195,6 +199,23 @@ class RunLogger:
         if not self.enabled:
             return _NULL_SPAN
         return self.tracer.span(name)
+
+    def _emit_span(self, record) -> None:
+        """Tracer ``on_close`` target: one ``span`` event per closed span.
+
+        Start/end are monotonic ``perf_counter`` seconds — consistent
+        within a process, which is all the Chrome-trace export needs.
+        """
+        if not self.enabled:
+            return
+        self.event(
+            "span",
+            name=record.name,
+            path=record.path,
+            depth=record.depth,
+            start=record.start,
+            end=record.end,
+        )
 
     # metric sugar ------------------------------------------------------
     def observe(self, name: str, value: Optional[float]) -> None:
@@ -244,6 +265,36 @@ class RunLogger:
         return False
 
     # structured helpers ------------------------------------------------
+    def record_cache_stats(self) -> None:
+        """Gauge the engine's BufferArena and PlanCache hit/miss/slot stats.
+
+        Lazy-imports the engine so ``repro.obs`` stays importable without
+        it; called automatically by :meth:`close` so every run log's
+        ``metrics`` event (and hence ``obs report``) carries the numbers
+        that previously only surfaced inside ``BENCH_inference.json``.
+        """
+        if not self.enabled:
+            return
+        from repro.tensor import get_arena, plan_cache
+
+        for key, value in get_arena().stats().items():
+            self.gauge(f"arena.{key}", value)
+        for key, value in plan_cache().stats().items():
+            self.gauge(f"plan_cache.{key}", value)
+
+    def record_memory(self, profile) -> None:
+        """Gauge an op-level profiler's byte accounting.
+
+        Accepts anything with ``memory_stats()`` (duck-typed on
+        :class:`repro.perf.OpLevelProfiler` so ``repro.obs`` never
+        imports ``repro.perf``): live/peak tensor bytes, cumulative
+        allocated bytes, and tape-node count/bytes.
+        """
+        if not self.enabled:
+            return
+        for key, value in profile.memory_stats().items():
+            self.gauge(f"mem.{key}", value)
+
     def log_manifest(self, **fields) -> None:
         """Emit the run manifest (should be the first event of a run)."""
         if not self.enabled:
@@ -267,6 +318,7 @@ class RunLogger:
         if self._closed or self is NULL_LOGGER:
             return
         if self.enabled:
+            self.record_cache_stats()
             if self.tracer.seconds:
                 self.event("spans", spans=self.tracer.as_dict())
             snapshot = self.metrics.snapshot()

@@ -1,0 +1,165 @@
+"""Chrome-trace (Perfetto) timeline export from JSONL run logs.
+
+``python -m repro.cli obs trace run.jsonl -o trace.json`` converts the
+event stream written by a :class:`~repro.obs.runlog.RunLogger` into the
+Chrome Trace Event JSON format — loadable in Perfetto
+(https://ui.perfetto.dev) or ``chrome://tracing``:
+
+- every streamed ``span`` event becomes a complete ("X") slice on the
+  *spans* track, nested by its recorded start/end times;
+- the ``timeline`` rows of an ``op_profile`` event (recorded via
+  :func:`repro.perf.op_profile`) become slices on the *ops* track, with
+  module, bytes, and taped-ness in ``args``.
+
+All timestamps are microseconds relative to the earliest slice, from the
+same monotonic ``perf_counter`` clock, so span and op tracks align.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+from repro.obs.report import RunRecord, load_run
+
+#: process/thread ids used in the exported trace
+TRACE_PID = 1
+SPAN_TID = 1
+OP_TID = 2
+
+
+def _metadata_events() -> List[Dict]:
+    return [
+        {
+            "name": "process_name",
+            "ph": "M",
+            "pid": TRACE_PID,
+            "tid": 0,
+            "args": {"name": "repro"},
+        },
+        {
+            "name": "thread_name",
+            "ph": "M",
+            "pid": TRACE_PID,
+            "tid": SPAN_TID,
+            "args": {"name": "spans"},
+        },
+        {
+            "name": "thread_name",
+            "ph": "M",
+            "pid": TRACE_PID,
+            "tid": OP_TID,
+            "args": {"name": "ops"},
+        },
+    ]
+
+
+def chrome_trace(run: Union[RunRecord, str, Path], include_ops: bool = True) -> Dict:
+    """Build a Chrome-trace dict from a run log (path or parsed record)."""
+    if not isinstance(run, RunRecord):
+        run = load_run(run)
+
+    spans = [
+        e
+        for e in run.of_kind("span")
+        if isinstance(e.get("start"), (int, float)) and isinstance(e.get("end"), (int, float))
+    ]
+    ops: List[Dict] = []
+    if include_ops and run.op_profile:
+        ops = [
+            row
+            for row in run.op_profile.get("timeline", ())
+            if isinstance(row, dict)
+            and isinstance(row.get("start"), (int, float))
+            and isinstance(row.get("end"), (int, float))
+        ]
+
+    starts = [e["start"] for e in spans] + [r["start"] for r in ops]
+    base = min(starts) if starts else 0.0
+
+    events: List[Dict] = _metadata_events()
+    for e in spans:
+        events.append(
+            {
+                "name": str(e.get("name", e.get("path", "span"))),
+                "cat": "span",
+                "ph": "X",
+                "ts": (e["start"] - base) * 1e6,
+                "dur": max(e["end"] - e["start"], 0.0) * 1e6,
+                "pid": TRACE_PID,
+                "tid": SPAN_TID,
+                "args": {"path": e.get("path"), "depth": e.get("depth")},
+            }
+        )
+    for row in ops:
+        events.append(
+            {
+                "name": str(row.get("op", "op")),
+                "cat": "op",
+                "ph": "X",
+                "ts": (row["start"] - base) * 1e6,
+                "dur": max(row["end"] - row["start"], 0.0) * 1e6,
+                "pid": TRACE_PID,
+                "tid": OP_TID,
+                "args": {
+                    "module": row.get("module"),
+                    "nbytes": row.get("nbytes"),
+                    "taped": row.get("taped"),
+                },
+            }
+        )
+
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "source": str(run.path) if run.path is not None else "<run>",
+            "n_spans": len(spans),
+            "n_ops": len(ops),
+        },
+    }
+
+
+def write_chrome_trace(
+    run: Union[RunRecord, str, Path],
+    path: Union[str, Path],
+    include_ops: bool = True,
+) -> Path:
+    """Export a run log's timeline to ``path`` as Chrome-trace JSON."""
+    trace = chrome_trace(run, include_ops=include_ops)
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(trace) + "\n", encoding="utf-8")
+    return path
+
+
+def render_flamegraph(
+    spans: Dict[str, Dict],
+    width: int = 40,
+    max_depth: Optional[int] = None,
+) -> str:
+    """Text flamegraph of slash-joined span aggregates.
+
+    ``spans`` is the ``{path: {"seconds", "calls"}}`` mapping from a
+    run log's ``spans`` summary event (or ``Tracer.as_dict()``).  Each
+    path is indented under its parent with a bar scaled to the root
+    total, so hot subtrees are visible at a glance in a terminal.
+    """
+    if not spans:
+        return "(no spans)"
+    roots_total = sum(
+        stats.get("seconds", 0.0) for path, stats in spans.items() if "/" not in path
+    ) or max(stats.get("seconds", 0.0) for stats in spans.values())
+    lines = [f"{'span':<44} {'seconds':>10} {'%':>6}  profile"]
+    for path in sorted(spans):
+        depth = path.count("/")
+        if max_depth is not None and depth > max_depth:
+            continue
+        stats = spans[path]
+        seconds = stats.get("seconds", 0.0)
+        share = seconds / roots_total if roots_total > 0 else 0.0
+        bar = "#" * max(int(round(share * width)), 1 if seconds > 0 else 0)
+        label = ("  " * depth) + path.rsplit("/", 1)[-1]
+        lines.append(f"{label:<44.44} {seconds:>10.4f} {share * 100:>5.1f}%  {bar}")
+    return "\n".join(lines)

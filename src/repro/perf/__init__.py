@@ -1,14 +1,19 @@
 """Op-level profiling for the autodiff engine.
 
-Three tools, all zero-overhead when inactive:
+Five tools, all zero-overhead when inactive:
 
 - :func:`profile` / :class:`OpProfiler` — installs engine hooks that count
   tape nodes per op as they are recorded and time each op's backward
   closure during ``Tensor.backward()``.
+- :func:`op_profile` / :class:`OpLevelProfiler` — wall time, call counts,
+  and allocated bytes per op *and per module* (forward/inference side,
+  memory accounting, Chrome-trace timelines; see :mod:`repro.perf.opprof`).
 - :class:`StageTimer` — nestable named wall-clock sections for coarse
   phase timing (forward / backward / optimizer ...).
 - :mod:`repro.perf.bench` — the canonical Conformer training-step
   benchmark behind ``python -m repro.perf`` and ``BENCH_autodiff.json``.
+- :mod:`repro.perf.history` — the schema-versioned bench-history ledger
+  behind ``python -m repro.cli bench diff``.
 
 Example::
 
@@ -27,10 +32,18 @@ from collections import Counter, defaultdict
 from typing import Callable, Dict, Iterator, List, Optional, Tuple
 
 from repro.obs.tracer import Tracer
+from repro.perf.opprof import OpLevelProfiler, op_profile
 from repro.tensor import tensor as _tensor_mod
 from repro.tensor.tensor import Tensor
 
-__all__ = ["OpProfiler", "StageTimer", "profile", "tape_nodes"]
+__all__ = [
+    "OpLevelProfiler",
+    "OpProfiler",
+    "StageTimer",
+    "op_profile",
+    "profile",
+    "tape_nodes",
+]
 
 
 class OpProfiler:

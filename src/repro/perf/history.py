@@ -1,0 +1,269 @@
+"""Bench-history ledger: every benchmark run, appended, diffable.
+
+``BENCH_autodiff.json`` / ``BENCH_inference.json`` overwrite on every
+run, so a slow regression is invisible until a hard ≥2x/≥3x threshold
+test trips.  This module turns those point-in-time artifacts into a
+trend: ``python -m repro.cli bench`` appends each result to
+``benchmarks/results/history.jsonl`` (schema-versioned, machine-stamped)
+and ``python -m repro.cli bench diff [--base N]`` compares the newest
+record against the N-th previous run *of the same benchmark* and exits
+non-zero when any lower-is-better metric regressed past the threshold.
+
+Records are one JSON object per line::
+
+    {"schema_version": 1, "unix_time": ..., "benchmark": "inference_forward",
+     "machine": {"platform": ..., "python": ..., "numpy": ...},
+     "metrics": {"models.conformer.fast_path.seconds_per_forward": ..., ...}}
+
+Metrics are the numeric leaves of the benchmark result dict, flattened to
+dotted paths (``machine``/``config``/list-valued entries excluded), so
+the ledger works unchanged for every current and future ``BENCH_*``
+producer.  Loading is tolerant: corrupt lines are counted and skipped
+(same contract as :func:`repro.obs.load_jsonl`), never fatal.
+"""
+
+from __future__ import annotations
+
+import platform
+import sys
+import time
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple, Union
+
+import numpy as np
+
+from repro.obs.report import load_jsonl
+
+#: bump when the record layout changes incompatibly
+HISTORY_SCHEMA_VERSION = 1
+
+#: default ledger location (repo root-relative when run from a checkout)
+DEFAULT_HISTORY_PATH = Path("benchmarks") / "results" / "history.jsonl"
+
+#: result-dict keys never flattened into comparable metrics
+_SKIP_KEYS = frozenset({"machine", "config", "description", "top_ops"})
+
+#: default relative-change threshold past which a regression fails the diff
+DEFAULT_THRESHOLD = 0.10
+
+
+def machine_fingerprint() -> Dict[str, str]:
+    """The environment stamp attached to every history record."""
+    return {
+        "platform": platform.platform(),
+        "python": sys.version.split()[0],
+        "numpy": np.__version__,
+    }
+
+
+def extract_metrics(result: Dict, prefix: str = "") -> Dict[str, float]:
+    """Flatten a benchmark result's numeric leaves to dotted-path floats."""
+    metrics: Dict[str, float] = {}
+    for key, value in result.items():
+        if key in _SKIP_KEYS or key.startswith("_"):
+            continue
+        path = f"{prefix}{key}"
+        if isinstance(value, bool):
+            continue
+        if isinstance(value, (int, float)):
+            metrics[path] = float(value)
+        elif isinstance(value, dict):
+            metrics.update(extract_metrics(value, prefix=f"{path}."))
+    return metrics
+
+
+def make_record(result: Dict, timestamp: Optional[float] = None) -> Dict:
+    """Build one schema-versioned, machine-stamped history record."""
+    return {
+        "schema_version": HISTORY_SCHEMA_VERSION,
+        "unix_time": time.time() if timestamp is None else float(timestamp),
+        "benchmark": result.get("benchmark", "unknown"),
+        "machine": result.get("machine", machine_fingerprint()),
+        "metrics": extract_metrics(result),
+    }
+
+
+def append_history(
+    result: Dict,
+    path: Union[str, Path] = DEFAULT_HISTORY_PATH,
+    timestamp: Optional[float] = None,
+) -> Dict:
+    """Append a benchmark result to the ledger; returns the record."""
+    import json
+
+    record = make_record(result, timestamp=timestamp)
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with open(path, "a", encoding="utf-8") as stream:
+        stream.write(json.dumps(record, sort_keys=True) + "\n")
+    return record
+
+
+def load_history(path: Union[str, Path] = DEFAULT_HISTORY_PATH) -> Tuple[List[Dict], int]:
+    """All parseable records (oldest first) plus the corrupt-line count."""
+    path = Path(path)
+    if not path.exists():
+        return [], 0
+    records, skipped = load_jsonl(path)
+    return [r for r in records if isinstance(r.get("metrics"), dict)], skipped
+
+
+# ----------------------------------------------------------------------
+# diffing
+# ----------------------------------------------------------------------
+def metric_direction(name: str) -> Optional[str]:
+    """Whether a metric should shrink or grow: 'lower', 'higher', or None.
+
+    Wall-time, byte, and tape-node metrics are lower-is-better; speedups
+    and reduction factors higher-is-better; everything else (losses,
+    diffs, counts of unknown polarity) is reported but never gates.
+    """
+    leaf = name.rsplit(".", 1)[-1]
+    if "speedup" in leaf or "reduction" in leaf:
+        return "higher"
+    if "seconds" in leaf or "bytes" in leaf or "nodes" in leaf:
+        return "lower"
+    return None
+
+
+def diff_records(base: Dict, head: Dict, threshold: float = DEFAULT_THRESHOLD) -> List[Dict]:
+    """Compare two history records metric by metric.
+
+    Returns one row per metric present in both records::
+
+        {"metric", "base", "head", "change", "direction", "regression"}
+
+    ``change`` is the signed relative change ``(head - base) / |base|``;
+    ``regression`` is True when the metric moved against its direction by
+    more than ``threshold``.
+    """
+    rows: List[Dict] = []
+    base_metrics = base.get("metrics", {})
+    head_metrics = head.get("metrics", {})
+    for name in sorted(set(base_metrics) & set(head_metrics)):
+        b, h = base_metrics[name], head_metrics[name]
+        if not isinstance(b, (int, float)) or not isinstance(h, (int, float)):
+            continue
+        change = (h - b) / abs(b) if b else (0.0 if h == b else float("inf"))
+        direction = metric_direction(name)
+        regression = False
+        if direction == "lower":
+            regression = change > threshold
+        elif direction == "higher":
+            regression = change < -threshold
+        rows.append(
+            {
+                "metric": name,
+                "base": float(b),
+                "head": float(h),
+                "change": change,
+                "direction": direction,
+                "regression": regression,
+            }
+        )
+    return rows
+
+
+def find_base(
+    records: List[Dict], head: Dict, back: int = 1
+) -> Optional[Dict]:
+    """The ``back``-th record before ``head`` with the same benchmark name."""
+    name = head.get("benchmark")
+    older = [r for r in records if r is not head and r.get("benchmark") == name]
+    if back < 1 or back > len(older):
+        return None
+    return older[-back]
+
+
+def render_diff(
+    rows: List[Dict],
+    base: Dict,
+    head: Dict,
+    threshold: float = DEFAULT_THRESHOLD,
+    show_all: bool = False,
+) -> str:
+    """Fixed-width diff table; regressions and big moves first."""
+    lines = [
+        f"bench diff: {head.get('benchmark')} "
+        f"(base @ {_stamp(base)} vs head @ {_stamp(head)}, threshold {threshold * 100:.0f}%)",
+        f"{'metric':<56} {'base':>12} {'head':>12} {'change':>9}  verdict",
+        "-" * 100,
+    ]
+    ranked = sorted(rows, key=lambda r: (not r["regression"], -abs(r["change"])))
+    shown = 0
+    for row in ranked:
+        gated = row["direction"] is not None
+        interesting = row["regression"] or abs(row["change"]) > threshold
+        if not show_all and not interesting:
+            continue
+        verdict = (
+            "REGRESSION"
+            if row["regression"]
+            else ("improved" if gated and abs(row["change"]) > threshold else "ok")
+        )
+        lines.append(
+            f"{row['metric']:<56.56} {row['base']:>12.6g} {row['head']:>12.6g} "
+            f"{row['change'] * 100:>+8.1f}%  {verdict}"
+        )
+        shown += 1
+    if shown == 0:
+        lines.append(f"(no metric moved more than {threshold * 100:.0f}%; {len(rows)} compared)")
+    regressions = sum(1 for r in rows if r["regression"])
+    lines.append(
+        f"{len(rows)} metrics compared, {regressions} regression(s) past threshold"
+    )
+    return "\n".join(lines)
+
+
+def _stamp(record: Dict) -> str:
+    ts = record.get("unix_time")
+    if isinstance(ts, (int, float)):
+        return time.strftime("%Y-%m-%d %H:%M:%S", time.localtime(ts))
+    return "?"
+
+
+# ----------------------------------------------------------------------
+# smoke self-check (tier-1: verify the harness, not the numbers)
+# ----------------------------------------------------------------------
+def smoke_check(threshold: float = DEFAULT_THRESHOLD) -> str:
+    """Prove the diff machinery detects a seeded regression end to end.
+
+    Builds two synthetic records, plants a +3x-threshold slowdown on one
+    wall-time metric and an equally large speedup *drop*, and asserts the
+    diff flags exactly those two while an identical pair stays clean.
+    Raises ``RuntimeError`` on any miss — `bench diff --smoke` turns that
+    into a non-zero exit for CI.
+    """
+    base_result = {
+        "benchmark": "smoke",
+        "machine": machine_fingerprint(),
+        "fused": {"seconds_per_step": 0.100, "tape_nodes_per_step": 120},
+        "speedup": 3.0,
+        "final_loss": 0.5,
+    }
+    head_result = {
+        "benchmark": "smoke",
+        "machine": machine_fingerprint(),
+        "fused": {"seconds_per_step": 0.100 * (1.0 + 3.0 * threshold), "tape_nodes_per_step": 120},
+        "speedup": 3.0 * (1.0 - 3.0 * threshold),
+        "final_loss": 0.5,
+    }
+    base = make_record(base_result, timestamp=0.0)
+    head = make_record(head_result, timestamp=1.0)
+
+    rows = diff_records(base, head, threshold=threshold)
+    flagged = {r["metric"] for r in rows if r["regression"]}
+    expected = {"fused.seconds_per_step", "speedup"}
+    if flagged != expected:
+        raise RuntimeError(
+            f"seeded regression not detected: flagged {sorted(flagged)}, "
+            f"expected {sorted(expected)}"
+        )
+    clean = diff_records(base, base, threshold=threshold)
+    false_alarms = [r["metric"] for r in clean if r["regression"]]
+    if false_alarms:
+        raise RuntimeError(f"identical records flagged as regressed: {false_alarms}")
+    return (
+        "bench-diff smoke ok: seeded regression detected "
+        f"({', '.join(sorted(expected))}), identical records clean"
+    )

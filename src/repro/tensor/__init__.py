@@ -20,6 +20,7 @@ from repro.tensor.tensor import (
     is_grad_enabled,
     is_inference_mode,
     no_grad,
+    set_op_hook,
     set_profile_hooks,
     tape_node_count,
 )
@@ -28,6 +29,7 @@ from repro.tensor.arena import BufferArena, get_arena
 from repro.tensor.cache import PlanCache, plan_cache
 from repro.tensor.functional import fused_ops, fused_ops_enabled
 from repro.tensor.gradcheck import gradcheck
+from repro.tensor.profiler import EngineProfiler
 
 __all__ = [
     "Tensor",
@@ -42,7 +44,9 @@ __all__ = [
     "fused_ops",
     "fused_ops_enabled",
     "gradcheck",
+    "set_op_hook",
     "set_profile_hooks",
+    "EngineProfiler",
     "BufferArena",
     "get_arena",
     "PlanCache",

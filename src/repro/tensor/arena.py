@@ -35,6 +35,10 @@ class BufferArena:
         self._slots: Dict[tuple, np.ndarray] = {}
         self.hits = 0
         self.misses = 0
+        self._nbytes = 0
+        #: most bytes ever pinned at once (survives clear(); memory gauges
+        #: report it as the arena's high-water mark)
+        self.high_water_bytes = 0
 
     def get(self, tag: str, shape: Tuple[int, ...], dtype) -> np.ndarray:
         """Check out an uninitialised (shape, dtype) buffer for ``tag``.
@@ -51,18 +55,28 @@ class BufferArena:
         self.misses += 1
         buf = np.empty(shape, dtype=dtype)
         self._slots[key] = buf
+        self._nbytes += buf.nbytes
+        if self._nbytes > self.high_water_bytes:
+            self.high_water_bytes = self._nbytes
         return buf
 
     def clear(self) -> None:
         """Drop every slot (frees the memory; counters are kept)."""
         self._slots.clear()
+        self._nbytes = 0
 
     def stats(self) -> Dict[str, int]:
-        return {"slots": len(self._slots), "hits": self.hits, "misses": self.misses}
+        return {
+            "slots": len(self._slots),
+            "hits": self.hits,
+            "misses": self.misses,
+            "bytes": self._nbytes,
+            "high_water_bytes": self.high_water_bytes,
+        }
 
     def nbytes(self) -> int:
         """Total bytes currently pinned by live slots."""
-        return sum(buf.nbytes for buf in self._slots.values())
+        return self._nbytes
 
 
 #: process-wide arena used by the fused inference kernels (the engine is

@@ -1,0 +1,215 @@
+"""Engine-level op profiler: wall time, call counts, and bytes per op.
+
+The :class:`EngineProfiler` is the low-level recorder behind
+``repro.perf.op_profile()``.  Its :meth:`on_op` method is installed as the
+engine op hook (:func:`repro.tensor.tensor.set_op_hook`) and fires on
+every :meth:`Tensor._make` call — taped *or* tape-free, so inference-mode
+forwards are fully attributable.  It is strictly zero-overhead when not
+installed: the hook slot is ``None`` and ``Tensor._make`` skips it with a
+single identity check (the same pattern as the sanitizer).
+
+Attribution model
+-----------------
+The numpy engine is serial: an op's numpy work happens immediately before
+its ``Tensor._make`` call.  ``on_op`` therefore attributes the wall-clock
+interval since the *previous* op event (or the last explicit
+:meth:`mark`) to the op just completed.  Pure-Python glue between ops is
+charged to the following op — an approximation, but one that sums to the
+true wall time of the profiled region and ranks ops correctly on any
+numpy-dominated workload.
+
+Module attribution reuses ``Module.named_modules`` naming: the high-level
+profiler pushes dotted module paths via :meth:`module_scope` while each
+submodule's ``forward`` runs, and every op event is labelled with the
+innermost open module.
+
+Memory accounting
+-----------------
+- ``op_bytes`` / per-event ``nbytes`` — bytes allocated for each op
+  output (``out.nbytes``).
+- ``taped_nodes`` / ``taped_bytes`` — nodes and output bytes pinned by
+  the autodiff tape; the inference fast path must show zero of both.
+- ``live_bytes`` / ``peak_bytes`` — bytes of profiled op outputs still
+  reachable, tracked with ``weakref.finalize`` on the output arrays.
+  Leaf tensors constructed directly from user data are not routed
+  through ``_make`` and are therefore out of scope by design.
+
+This file reads the wall clock once per profiler (``time.time``) to
+anchor the monotonic ``perf_counter`` timeline to calendar time for
+Chrome-trace export; the ``no-wallclock`` lint rule allowlists exactly
+this file (see pyproject.toml).
+"""
+
+from __future__ import annotations
+
+import contextlib
+import weakref
+from collections import deque
+from time import perf_counter, time
+from typing import Dict, Iterator, List, Optional, Tuple
+
+import numpy as np
+
+#: module label attached to ops recorded outside any ``module_scope``
+ROOT_MODULE = "(root)"
+
+
+class EngineProfiler:
+    """Streaming per-(module, op) wall-time / call / byte aggregates.
+
+    Parameters
+    ----------
+    timeline_capacity:
+        Bound on retained raw op events for timeline export (aggregates
+        are unaffected; the ring forgets the oldest events and counts
+        them in ``dropped_events``).
+    track_live:
+        Register a ``weakref.finalize`` per op output to maintain
+        ``live_bytes``/``peak_bytes``.  Costs one weakref per op while
+        profiling; disable for pure-latency runs.
+    """
+
+    def __init__(self, timeline_capacity: int = 8192, track_live: bool = True) -> None:
+        # fundamental store: (module, op) -> [calls, seconds, nbytes]
+        self._cells: Dict[Tuple[str, str], List] = {}
+        self.taped_nodes = 0
+        self.taped_bytes = 0
+        self.live_bytes = 0
+        self.peak_bytes = 0
+        self.dropped_events = 0
+        self.track_live = track_live
+        self.events: deque = deque(maxlen=timeline_capacity)
+        self._module_stack: List[str] = []
+        self._mark: Optional[float] = None
+        #: wall-clock seconds at ``perf_counter() == 0`` — anchors the
+        #: monotonic timeline to calendar time for trace export
+        self.wall_anchor = time() - perf_counter()
+
+    # ------------------------------------------------------------------
+    # hook targets
+    # ------------------------------------------------------------------
+    def mark(self) -> None:
+        """Reset the attribution clock at a scope boundary.
+
+        Call when entering a profiled region so setup time before the
+        first op is not charged to it.
+        """
+        self._mark = perf_counter()
+
+    def on_op(self, op: str, data: np.ndarray, taped: bool) -> None:
+        """Engine op-hook target: record one op output."""
+        now = perf_counter()
+        start = self._mark if self._mark is not None else now
+        self._mark = now
+        seconds = now - start if now > start else 0.0
+        nbytes = int(data.nbytes)
+        module = self._module_stack[-1] if self._module_stack else ROOT_MODULE
+
+        cell = self._cells.get((module, op))
+        if cell is None:
+            self._cells[(module, op)] = [1, seconds, nbytes]
+        else:
+            cell[0] += 1
+            cell[1] += seconds
+            cell[2] += nbytes
+
+        if taped:
+            self.taped_nodes += 1
+            self.taped_bytes += nbytes
+        if self.track_live:
+            self.live_bytes += nbytes
+            if self.live_bytes > self.peak_bytes:
+                self.peak_bytes = self.live_bytes
+            weakref.finalize(data, self._on_free, nbytes)
+        if len(self.events) == self.events.maxlen:
+            self.dropped_events += 1
+        self.events.append((op, module, start, now, nbytes, taped))
+
+    def _on_free(self, nbytes: int) -> None:
+        self.live_bytes -= nbytes
+
+    # ------------------------------------------------------------------
+    # module attribution
+    # ------------------------------------------------------------------
+    @contextlib.contextmanager
+    def module_scope(self, name: str) -> Iterator[None]:
+        """Label ops recorded inside the block with module ``name``."""
+        self._module_stack.append(name)
+        try:
+            yield
+        finally:
+            self._module_stack.pop()
+
+    # ------------------------------------------------------------------
+    # aggregates
+    # ------------------------------------------------------------------
+    @property
+    def total_calls(self) -> int:
+        return sum(cell[0] for cell in self._cells.values())
+
+    @property
+    def total_seconds(self) -> float:
+        return sum(cell[1] for cell in self._cells.values())
+
+    @property
+    def total_bytes(self) -> int:
+        return sum(cell[2] for cell in self._cells.values())
+
+    def rows(self) -> List[dict]:
+        """Per-(module, op) aggregate rows, heaviest first."""
+        out = [
+            {
+                "module": module,
+                "op": op,
+                "calls": cell[0],
+                "seconds": cell[1],
+                "nbytes": cell[2],
+            }
+            for (module, op), cell in self._cells.items()
+        ]
+        out.sort(key=lambda r: (-r["seconds"], -r["nbytes"], r["op"]))
+        return out
+
+    def per_op(self) -> Dict[str, dict]:
+        """Aggregates folded over modules, keyed by op name."""
+        folded: Dict[str, dict] = {}
+        for (module, op), cell in self._cells.items():
+            agg = folded.setdefault(op, {"calls": 0, "seconds": 0.0, "nbytes": 0})
+            agg["calls"] += cell[0]
+            agg["seconds"] += cell[1]
+            agg["nbytes"] += cell[2]
+        return folded
+
+    def per_module(self) -> Dict[str, dict]:
+        """Aggregates folded over ops, keyed by dotted module path."""
+        folded: Dict[str, dict] = {}
+        for (module, op), cell in self._cells.items():
+            agg = folded.setdefault(module, {"calls": 0, "seconds": 0.0, "nbytes": 0})
+            agg["calls"] += cell[0]
+            agg["seconds"] += cell[1]
+            agg["nbytes"] += cell[2]
+        return folded
+
+    def timeline(self) -> List[dict]:
+        """Retained raw op events (oldest first) for trace export."""
+        return [
+            {
+                "op": op,
+                "module": module,
+                "start": start,
+                "end": end,
+                "nbytes": nbytes,
+                "taped": taped,
+            }
+            for op, module, start, end, nbytes, taped in self.events
+        ]
+
+    def memory_stats(self) -> Dict[str, int]:
+        """Byte-level accounting snapshot (all integers, gauge-ready)."""
+        return {
+            "allocated_bytes": self.total_bytes,
+            "live_bytes": self.live_bytes,
+            "peak_bytes": self.peak_bytes,
+            "taped_nodes": self.taped_nodes,
+            "taped_bytes": self.taped_bytes,
+        }

@@ -38,8 +38,11 @@ _TAPE_NODES = 0
 # Profiling hooks (installed by repro.perf; None = zero-overhead fast path).
 # _TAPE_HOOK is called with the op name every time a tape node is recorded;
 # _BACKWARD_HOOK is called with (op name, seconds) after each node's backward.
+# _OP_HOOK is called with (op, out_data, taped) on *every* op output — taped
+# or not — so the op-level profiler sees inference-mode forwards too.
 _TAPE_HOOK: Optional[Callable[[str], None]] = None
 _BACKWARD_HOOK: Optional[Callable[[str, float], None]] = None
+_OP_HOOK: Optional[Callable[[str, np.ndarray, bool], None]] = None
 
 # Runtime sanitizer (installed by repro.analysis.sanitizer.sanitize; None =
 # zero-overhead fast path).  Checks every tape-node creation and every
@@ -72,6 +75,22 @@ def set_profile_hooks(
     global _TAPE_HOOK, _BACKWARD_HOOK
     _TAPE_HOOK = tape_hook
     _BACKWARD_HOOK = backward_hook
+
+
+def set_op_hook(
+    hook: Optional[Callable[[str, np.ndarray, bool], None]],
+) -> Optional[Callable[[str, np.ndarray, bool], None]]:
+    """Install (or clear, with None) the engine-level op hook.
+
+    The hook fires on every :meth:`Tensor._make` call — including
+    inference-mode forwards that record zero tape nodes — with
+    ``(op, out_data, taped)``.  Returns the previous hook so nested
+    profiling scopes can restore it (same pattern as the sanitizer).
+    """
+    global _OP_HOOK
+    previous = _OP_HOOK
+    _OP_HOOK = hook
+    return previous
 
 
 def is_grad_enabled() -> bool:
@@ -280,6 +299,8 @@ class Tensor:
             out._backward = backward
             if _TAPE_HOOK is not None:
                 _TAPE_HOOK(op)
+        if _OP_HOOK is not None:
+            _OP_HOOK(op, data, needs_grad)
         if _SANITIZER is not None:
             # check the raw op output: Tensor.__init__ silently casts to
             # float64, which would hide dtype drift from the sanitizer

@@ -1,0 +1,210 @@
+"""Bench-history ledger: append/load round-trip, regression diffing, CLI.
+
+The ledger (``benchmarks/results/history.jsonl``) turns the overwrite-only
+``BENCH_*.json`` artifacts into a trend.  These tests pin:
+
+- metric flattening (numeric leaves only, ``machine``/``config`` skipped),
+- schema-versioned, machine-stamped records and tolerant loading,
+- direction-aware diffing (lower-is-better wall times vs higher-is-better
+  speedups) with threshold gating,
+- the ``bench diff`` CLI: ``--smoke`` self-check, regression exit codes,
+  base selection, and history appending from ``bench`` itself.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.perf.history import (
+    HISTORY_SCHEMA_VERSION,
+    append_history,
+    diff_records,
+    extract_metrics,
+    find_base,
+    load_history,
+    machine_fingerprint,
+    make_record,
+    metric_direction,
+    render_diff,
+    smoke_check,
+)
+
+
+def _result(seconds: float = 0.1, speedup: float = 3.0, name: str = "demo") -> dict:
+    return {
+        "benchmark": name,
+        "machine": machine_fingerprint(),
+        "config": {"repeats": 5},
+        "fused": {"seconds_per_step": seconds, "tape_nodes_per_step": 120},
+        "speedup": speedup,
+        "final_loss": 0.5,
+        "top_ops": [("matmul", 67, 0.005)],
+        "smoke": False,
+    }
+
+
+class TestRecords:
+    def test_extract_metrics_flattens_numeric_leaves_only(self):
+        metrics = extract_metrics(_result())
+        assert metrics["fused.seconds_per_step"] == 0.1
+        assert metrics["speedup"] == 3.0
+        assert "config.repeats" not in metrics  # config is not a metric
+        assert "machine" not in str(metrics)
+        assert "top_ops" not in metrics  # list-valued
+        assert "smoke" not in metrics  # booleans are flags, not metrics
+
+    def test_make_record_is_versioned_and_stamped(self):
+        record = make_record(_result(), timestamp=123.0)
+        assert record["schema_version"] == HISTORY_SCHEMA_VERSION
+        assert record["unix_time"] == 123.0
+        assert record["benchmark"] == "demo"
+        assert set(record["machine"]) == {"platform", "python", "numpy"}
+
+    def test_append_and_load_round_trip(self, tmp_path):
+        path = tmp_path / "history.jsonl"
+        append_history(_result(0.1), path=path, timestamp=1.0)
+        append_history(_result(0.2), path=path, timestamp=2.0)
+        records, skipped = load_history(path)
+        assert skipped == 0
+        assert [r["unix_time"] for r in records] == [1.0, 2.0]
+        # every line is valid standalone JSON
+        lines = path.read_text().strip().split("\n")
+        assert all(json.loads(line)["benchmark"] == "demo" for line in lines)
+
+    def test_load_tolerates_corrupt_lines(self, tmp_path):
+        path = tmp_path / "history.jsonl"
+        append_history(_result(), path=path, timestamp=1.0)
+        with open(path, "a") as stream:
+            stream.write('{"benchmark": "demo", "metrics": {"x"\n')  # truncated
+        append_history(_result(), path=path, timestamp=2.0)
+        records, skipped = load_history(path)
+        assert len(records) == 2
+        assert skipped == 1
+
+    def test_load_missing_file_is_empty_not_fatal(self, tmp_path):
+        assert load_history(tmp_path / "absent.jsonl") == ([], 0)
+
+
+class TestDiff:
+    def test_metric_directions(self):
+        assert metric_direction("fused.seconds_per_step") == "lower"
+        assert metric_direction("mem.taped_bytes") == "lower"
+        assert metric_direction("fused.tape_nodes_per_step") == "lower"
+        assert metric_direction("speedup") == "higher"
+        assert metric_direction("tape_node_reduction") == "higher"
+        assert metric_direction("final_loss") is None  # informational
+
+    def test_seeded_regression_is_flagged(self):
+        base = make_record(_result(seconds=0.1), timestamp=1.0)
+        head = make_record(_result(seconds=0.15), timestamp=2.0)  # +50%
+        rows = diff_records(base, head, threshold=0.10)
+        flagged = {r["metric"] for r in rows if r["regression"]}
+        assert flagged == {"fused.seconds_per_step"}
+        assert "REGRESSION" in render_diff(rows, base, head)
+
+    def test_speedup_drop_is_a_regression_improvement_is_not(self):
+        base = make_record(_result(speedup=3.0), timestamp=1.0)
+        slower = make_record(_result(speedup=2.0), timestamp=2.0)
+        faster = make_record(_result(speedup=4.0), timestamp=2.0)
+        assert any(r["regression"] for r in diff_records(base, slower))
+        assert not any(r["regression"] for r in diff_records(base, faster))
+
+    def test_informational_metrics_never_gate(self):
+        base = make_record(_result(), timestamp=1.0)
+        head_result = _result()
+        head_result["final_loss"] = 50.0  # 100x worse, but not a perf metric
+        head = make_record(head_result, timestamp=2.0)
+        assert not any(r["regression"] for r in diff_records(base, head))
+
+    def test_identical_records_are_clean(self):
+        record = make_record(_result(), timestamp=1.0)
+        rows = diff_records(record, record)
+        assert rows and not any(r["regression"] for r in rows)
+
+    def test_find_base_matches_benchmark_and_depth(self):
+        records = [
+            make_record(_result(name="a"), timestamp=1.0),
+            make_record(_result(name="b"), timestamp=2.0),
+            make_record(_result(name="a"), timestamp=3.0),
+            make_record(_result(name="a"), timestamp=4.0),
+        ]
+        head = records[-1]
+        assert find_base(records, head, back=1)["unix_time"] == 3.0
+        assert find_base(records, head, back=2)["unix_time"] == 1.0  # skips "b"
+        assert find_base(records, head, back=3) is None
+
+    def test_smoke_check_passes(self):
+        assert "smoke ok" in smoke_check()
+
+
+class TestCli:
+    def test_bench_diff_smoke_exits_zero(self, capsys):
+        assert main(["bench", "diff", "--smoke"]) == 0
+        assert "seeded regression detected" in capsys.readouterr().out
+
+    def test_bench_diff_flags_ledger_regression(self, tmp_path, capsys):
+        path = tmp_path / "history.jsonl"
+        append_history(_result(seconds=0.1), path=path, timestamp=1.0)
+        append_history(_result(seconds=0.2), path=path, timestamp=2.0)  # 2x slower
+        assert main(["bench", "diff", "--history", str(path)]) == 1
+        assert "REGRESSION" in capsys.readouterr().out
+        # a looser threshold lets the same pair pass
+        assert main(["bench", "diff", "--history", str(path), "--threshold", "1.5"]) == 0
+
+    def test_bench_diff_clean_ledger_exits_zero(self, tmp_path, capsys):
+        path = tmp_path / "history.jsonl"
+        append_history(_result(), path=path, timestamp=1.0)
+        append_history(_result(), path=path, timestamp=2.0)
+        assert main(["bench", "diff", "--history", str(path)]) == 0
+        assert "0 regression(s)" in capsys.readouterr().out
+
+    def test_bench_diff_json_output(self, tmp_path, capsys):
+        path = tmp_path / "history.jsonl"
+        append_history(_result(seconds=0.1), path=path, timestamp=1.0)
+        append_history(_result(seconds=0.5), path=path, timestamp=2.0)
+        assert main(["bench", "diff", "--history", str(path), "--json"]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["head"]["unix_time"] == 2.0
+        assert any(r["regression"] for r in payload["rows"])
+
+    def test_bench_diff_without_enough_runs_is_a_usage_error(self, tmp_path, capsys):
+        path = tmp_path / "history.jsonl"
+        assert main(["bench", "diff", "--history", str(path)]) == 2
+        append_history(_result(), path=path, timestamp=1.0)
+        assert main(["bench", "diff", "--history", str(path)]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_bench_diff_base_selects_older_run(self, tmp_path):
+        path = tmp_path / "history.jsonl"
+        append_history(_result(seconds=0.1), path=path, timestamp=1.0)
+        append_history(_result(seconds=0.5), path=path, timestamp=2.0)
+        append_history(_result(seconds=0.5), path=path, timestamp=3.0)
+        # vs the immediately previous (equal) run: clean
+        assert main(["bench", "diff", "--history", str(path)]) == 0
+        # vs two runs back: the 5x slowdown shows
+        assert main(["bench", "diff", "--history", str(path), "--base", "2"]) == 1
+
+    def test_bench_diff_benchmark_filter(self, tmp_path, capsys):
+        path = tmp_path / "history.jsonl"
+        append_history(_result(seconds=0.1, name="a"), path=path, timestamp=1.0)
+        append_history(_result(seconds=0.5, name="b"), path=path, timestamp=2.0)
+        append_history(_result(seconds=0.1, name="a"), path=path, timestamp=3.0)
+        capsys.readouterr()
+        assert main(["bench", "diff", "--history", str(path), "--benchmark", "a"]) == 0
+        assert "bench diff: a" in capsys.readouterr().out
+
+    @pytest.mark.perf
+    def test_bench_smoke_appends_history(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        path = tmp_path / "history.jsonl"
+        code = main(["bench", "--smoke", "--no-json", "--history", str(path)])
+        assert code == 0
+        records, skipped = load_history(path)
+        assert skipped == 0
+        assert len(records) == 1
+        assert records[0]["benchmark"] == "conformer_training_step"
+        assert records[0]["metrics"]["fused.seconds_per_step"] > 0
+        assert "history appended" in capsys.readouterr().out
