@@ -121,3 +121,55 @@ def test_op_profiler_overhead_when_disabled():
     # sanity: the profiled arm records, and the hook is gone afterwards
     assert tensor_mod._OP_HOOK is None
     assert profiled > 0.0
+
+
+@pytest.mark.perf
+@pytest.mark.alias
+def test_alias_checks_overhead_when_disabled():
+    """An uninstalled ownership sanitizer must not slow the fast path.
+
+    The alias guard touches three hook slots — the arena's, the plan
+    cache's, and the engine sanitizer slot — and each is a single
+    ``is not None`` test when empty.  Same self-relative methodology as
+    the profiler guard: two interleaved timing arms of an inference
+    workload that exercises arena checkouts, plan-cache lookups, *and*
+    per-op engine dispatch must agree, with all three slots confirmed
+    empty throughout.
+    """
+    from time import perf_counter
+
+    import numpy as np
+
+    from repro.tensor import Tensor, get_arena, inference_mode, plan_cache
+    from repro.tensor import tensor as tensor_mod
+
+    arena, cache = get_arena(), plan_cache()
+    rng = np.random.default_rng(23)
+    x = Tensor(rng.normal(size=(16, 16)))
+
+    def step():
+        with inference_mode():
+            buf = arena.get("bench.alias_off", (16, 16), np.float64)
+            np.matmul(x.data, x.data, out=buf)
+            mask = cache.get(("bench.alias_off", 16), lambda: np.tril(np.ones((16, 16))))
+            (Tensor(buf * mask).relu().sum()).item()
+
+    def timed(n=80):
+        start = perf_counter()
+        for _ in range(n):
+            step()
+        return perf_counter() - start
+
+    assert arena._alias_hook is None
+    assert cache._alias_hook is None
+    assert tensor_mod.get_sanitizer() is None
+    timed(10)  # warmup
+    arm_a, arm_b = timed(), timed()
+    assert arena._alias_hook is None
+    assert cache._alias_hook is None
+    assert tensor_mod.get_sanitizer() is None
+    arena.clear()
+    # both arms ran the identical disabled-mode code path; agreement
+    # within 2x bounds scheduler noise without a flaky absolute threshold
+    ratio = max(arm_a, arm_b) / min(arm_a, arm_b)
+    assert ratio < 2.0, f"disabled-mode timing unstable: {ratio:.2f}x"

@@ -1,13 +1,19 @@
 """repro.analysis — static analysis and runtime sanitizers for the stack.
 
-Three layers, one goal (trustworthy runs):
+Five layers, one goal (trustworthy runs):
 
 - **Lint** (:mod:`~repro.analysis.lint`, :mod:`~repro.analysis.rules`,
   :mod:`~repro.analysis.reporters`) — an AST rule framework with a
   registry, per-rule path allowlists, inline ``# repro: noqa[rule-id]``
-  suppressions, and text/JSON reporters.  Run it via
+  suppressions, and text/JSON/SARIF reporters.  Run it via
   ``python -m repro.cli lint src`` (or ``python -m repro.analysis src``);
   exit code 1 means findings, making it CI-gateable.
+- **Dataflow** (:mod:`~repro.analysis.dataflow`) — the interprocedural
+  half: a project call graph, escape analysis proving arena scratch never
+  outlives its kernel (``dataflow-arena-escape``), and purity analysis
+  proving ``predict*``/``evaluate*`` closures never touch global RNG, the
+  tape, or module state (``dataflow-impure-predict``).  Run it via
+  ``python -m repro.cli lint src --dataflow``.
 - **Contracts** (:mod:`~repro.analysis.contracts`) — a symbolic abstract
   interpreter verifying declared ``@shape_contract`` decorators on every
   model forward across geometries and both dtype modes *before* any real
@@ -18,14 +24,27 @@ Three layers, one goal (trustworthy runs):
   caused them, mirrored into :mod:`repro.obs` anomaly events.  Enable
   with :func:`sanitize` or ``repro.cli run --sanitize``; zero overhead
   when off.
+- **Ownership** (:mod:`~repro.analysis.alias`) — the runtime twin of the
+  dataflow pass ("ASan for the engine"): generation-stamped arena
+  checkouts with poison-on-release, plan-cache write traps, and
+  tape-pinning checks.  Enable with :func:`alias_guard`,
+  ``sanitize(alias=True)``, or ``repro.cli run --sanitize-alias``.
 
 The contract checker shares the sanitizer's finding vocabulary
-(``dtype_drift``, ``broadcast_surprise``) and the lint reporters — the
-same defect reads the same whether caught statically or at runtime.
+(``dtype_drift``, ``broadcast_surprise``) and the lint reporters; the
+ownership sanitizer shares the dataflow pass's rule ids
+(``alias-*`` at runtime, ``dataflow-*`` statically) — the same defect
+reads the same whether caught statically or at runtime.
 
 See ``docs/static-analysis.md`` for the rule catalogue and usage.
 """
 
+from repro.analysis.alias import (
+    AliasError,
+    AliasFinding,
+    AliasSanitizer,
+    alias_guard,
+)
 from repro.analysis.contracts import (
     AbstractTensor,
     Dim,
@@ -44,7 +63,12 @@ from repro.analysis.lint import (
     lint_paths,
     stale_allowlist_entries,
 )
-from repro.analysis.reporters import render_json, render_text, report_as_dict
+from repro.analysis.dataflow import (
+    CallGraph,
+    build_call_graph,
+    dataflow_paths,
+)
+from repro.analysis.reporters import render_json, render_sarif, render_text, report_as_dict
 from repro.analysis.rules import DEFAULT_ALLOWLISTS, Rule, all_rules, register
 from repro.analysis.sanitizer import (
     SanitizerFinding,
@@ -55,6 +79,10 @@ from repro.analysis.sanitizer import (
 
 __all__ = [
     "AbstractTensor",
+    "AliasError",
+    "AliasFinding",
+    "AliasSanitizer",
+    "CallGraph",
     "DEFAULT_ALLOWLISTS",
     "Dim",
     "FileContext",
@@ -66,13 +94,17 @@ __all__ = [
     "TensorSanitizer",
     "TensorSanitizerError",
     "Violation",
+    "alias_guard",
     "all_rules",
+    "build_call_graph",
     "check_model",
     "check_registry",
+    "dataflow_paths",
     "default_config",
     "lint_paths",
     "register",
     "render_json",
+    "render_sarif",
     "render_text",
     "report_as_dict",
     "sanitize",

@@ -1,9 +1,11 @@
-"""Finding reporters: text for humans, JSON for CI.
+"""Finding reporters: text for humans, JSON for CI, SARIF for code hosts.
 
 Text format is the classic greppable ``path:line:col: rule-id message``
 (one finding per line, sorted, summary last).  JSON carries the same
 findings plus per-rule counts under a versioned envelope so downstream
-tooling can evolve without sniffing.
+tooling can evolve without sniffing.  SARIF 2.1.0 is the interchange
+format GitHub/Azure code scanning ingests — ``lint --format sarif`` lets
+CI annotate PR diffs with lint and dataflow findings directly.
 """
 
 from __future__ import annotations
@@ -15,6 +17,9 @@ from typing import Dict, List, Sequence
 from repro.analysis.lint import Finding
 
 JSON_SCHEMA_VERSION = 1
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/Schemata/sarif-schema-2.1.0.json"
 
 
 def render_text(findings: Sequence[Finding], files_scanned: int = 0) -> str:
@@ -46,6 +51,71 @@ def report_as_dict(findings: Sequence[Finding], files_scanned: int = 0) -> Dict:
 
 def render_json(findings: Sequence[Finding], files_scanned: int = 0) -> str:
     return json.dumps(report_as_dict(findings, files_scanned), indent=2)
+
+
+def sarif_as_dict(findings: Sequence[Finding], files_scanned: int = 0) -> Dict:
+    """SARIF 2.1.0 log for ``findings`` — one run, driver ``repro-lint``.
+
+    Rule metadata comes from the registry when the rule is known there
+    (descriptions feed the code-scanning UI); rules only present in the
+    findings (e.g. from a custom pass) still get a bare descriptor so the
+    ``ruleId`` references stay resolvable.
+    """
+    from repro.analysis.rules import all_rules
+
+    registry = all_rules()
+    fired = sorted({f.rule_id for f in findings})
+    descriptors = []
+    for rule_id in fired:
+        descriptor: Dict = {"id": rule_id}
+        rule = registry.get(rule_id)
+        if rule is not None and rule.description:
+            descriptor["shortDescription"] = {"text": rule.description}
+        descriptors.append(descriptor)
+    rule_index = {rule_id: i for i, rule_id in enumerate(fired)}
+    results = [
+        {
+            "ruleId": f.rule_id,
+            "ruleIndex": rule_index[f.rule_id],
+            "level": "error",
+            "message": {"text": f.message},
+            "locations": [
+                {
+                    "physicalLocation": {
+                        "artifactLocation": {"uri": f.path.replace("\\", "/")},
+                        "region": {
+                            "startLine": f.line,
+                            # SARIF columns are 1-based; Finding.col is an
+                            # AST col_offset (0-based)
+                            "startColumn": f.col + 1,
+                        },
+                    }
+                }
+            ],
+        }
+        for f in findings
+    ]
+    return {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "repro-lint",
+                        "informationUri": "https://example.invalid/repro",
+                        "rules": descriptors,
+                    }
+                },
+                "results": results,
+                "properties": {"files_scanned": files_scanned},
+            }
+        ],
+    }
+
+
+def render_sarif(findings: Sequence[Finding], files_scanned: int = 0) -> str:
+    return json.dumps(sarif_as_dict(findings, files_scanned), indent=2)
 
 
 # ----------------------------------------------------------------------

@@ -39,6 +39,17 @@ The rules encode this repo's correctness invariants:
     A ``# repro: noqa`` comment whose rule no longer fires on that line
     is a silent blind spot waiting for the next regression; the lint
     driver flags it (full runs only — see ``analysis/lint.py``).
+``dataflow-arena-escape``
+    An arena scratch buffer that outlives its kernel (returned, stored on
+    ``self``, wrapped in an escaping ``Tensor``) reads recycled memory on
+    the next checkout.  Interprocedural — implemented by
+    :mod:`repro.analysis.dataflow`, run via ``lint --dataflow``.
+``dataflow-impure-predict``
+    A ``predict*``/``evaluate*`` entry point that transitively reaches a
+    global-RNG draw, a ``backward()`` tape walk, or a module-state write
+    is not inference-pure; concurrent serving requests would corrupt each
+    other.  Interprocedural — implemented by
+    :mod:`repro.analysis.dataflow`, run via ``lint --dataflow``.
 """
 
 from __future__ import annotations
@@ -60,6 +71,10 @@ DEFAULT_ALLOWLISTS: Mapping[str, Tuple[str, ...]] = {
     # monotonic timeline to calendar time for Chrome-trace export; it
     # never feeds the clock into numerics
     "no-wallclock": ("tensor/profiler.py",),
+    # telemetry counters (obs/) and the sanitizers' own bookkeeping
+    # (analysis/) mutate state on inference paths by design — metrics and
+    # debug instrumentation are outside the purity contract
+    "dataflow-impure-predict": ("obs/", "analysis/"),
 }
 
 _REGISTRY: Dict[str, "Rule"] = {}
@@ -356,6 +371,32 @@ class NoqaUnused(Rule):
 
     #: evaluated by the lint driver after all other rules ran on a file —
     #: only it knows which findings each suppression comment absorbed.
+    engine_level = True
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        return iter(())
+
+
+@register
+class DataflowArenaEscape(Rule):
+    id = "dataflow-arena-escape"
+    description = "arena buffer outlives its kernel (interprocedural; lint --dataflow)"
+
+    #: implemented by repro.analysis.dataflow (needs the whole-tree call
+    #: graph, not one file); registered here so --list-rules documents it
+    #: and noqa[dataflow-arena-escape] comments aren't flagged unknown.
+    engine_level = True
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        return iter(())
+
+
+@register
+class DataflowImpurePredict(Rule):
+    id = "dataflow-impure-predict"
+    description = "predict/evaluate path reaches RNG, backward(), or state writes (lint --dataflow)"
+
+    #: implemented by repro.analysis.dataflow — see DataflowArenaEscape.
     engine_level = True
 
     def check(self, ctx: FileContext) -> Iterator[Finding]:

@@ -258,6 +258,7 @@ class TensorSanitizer:
 def sanitize(
     logger=None,
     raise_on_error: bool = True,
+    alias: bool = False,
     **kwargs,
 ):
     """Install a :class:`TensorSanitizer` for the duration of the block.
@@ -269,10 +270,23 @@ def sanitize(
             loss = model(x).sum()
             loss.backward()          # raises TensorSanitizerError on NaN
         assert not san.findings
+
+    ``alias=True`` layers the ownership sanitizer
+    (:func:`repro.analysis.alias.alias_guard`) on top: arena
+    use-after-release, plan-cache write traps, and tape-pinning checks
+    run alongside the numeric ones.  The installed guard is exposed as
+    ``sanitizer.alias`` so callers can inspect its findings separately.
     """
     sanitizer = TensorSanitizer(logger=logger, raise_on_error=raise_on_error, **kwargs)
     previous = _engine.set_sanitizer(sanitizer)
     try:
-        yield sanitizer
+        if alias:
+            from repro.analysis.alias import alias_guard
+
+            with alias_guard(logger=logger, raise_on_error=raise_on_error) as guard:
+                sanitizer.alias = guard
+                yield sanitizer
+        else:
+            yield sanitizer
     finally:
         _engine.set_sanitizer(previous)

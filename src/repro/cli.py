@@ -14,7 +14,8 @@ run
     ``--inject-fault step:N`` simulates a crash for recovery drills).
 lint
     Run the repro.analysis static-analysis rules over source trees
-    (exit 1 on findings; ``--format json`` for CI).
+    (exit 1 on findings; ``--format json`` / ``--format sarif`` for CI;
+    ``--dataflow`` adds the interprocedural escape/purity pass).
 efficiency
     Fig. 5-style attention time/memory comparison.
 sweep
@@ -108,12 +109,12 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
     sanitizer = None
     try:
-        if args.sanitize:
+        if args.sanitize or args.sanitize_alias:
             from repro.analysis import sanitize
 
             # collect mode: a NaN step is reported (and the trainer already
             # skips it); aborting a long run at the first finding helps nobody
-            with sanitize(raise_on_error=False) as sanitizer:
+            with sanitize(raise_on_error=False, alias=args.sanitize_alias) as sanitizer:
                 result = execute_with_faults()
         else:
             result = execute_with_faults()
@@ -138,7 +139,10 @@ def _cmd_run(args: argparse.Namespace) -> int:
         print(result.row())
     if sanitizer is not None:
         print(sanitizer.summary(), file=sys.stderr)
-        if sanitizer.findings:
+        guard = getattr(sanitizer, "alias", None)
+        if guard is not None:
+            print(guard.summary(), file=sys.stderr)
+        if sanitizer.findings or (guard is not None and guard.findings):
             return 1
     return 0
 
@@ -329,9 +333,17 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     except KeyError as exc:
         print(f"error: {exc.args[0]}", file=sys.stderr)
         return 2
+    if args.dataflow:
+        from repro.analysis.dataflow import dataflow_paths
+
+        findings = sorted(findings + dataflow_paths(paths, config=config))
     files_scanned = sum(1 for _ in iter_python_files(paths))
     if args.format == "json":
         print(render_json(findings, files_scanned))
+    elif args.format == "sarif":
+        from repro.analysis.reporters import render_sarif
+
+        print(render_sarif(findings, files_scanned))
     else:
         print(render_text(findings, files_scanned))
     return 1 if findings else 0
@@ -450,6 +462,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="run under the tensor sanitizer (NaN/Inf/dtype checks on every op; exit 1 on findings)",
     )
     run_p.add_argument(
+        "--sanitize-alias", action="store_true", dest="sanitize_alias",
+        help="also run the ownership sanitizer (arena use-after-release, "
+             "plan-cache write traps, tape pinning; implies --sanitize)",
+    )
+    run_p.add_argument(
         "--checkpoint-dir", type=Path, default=None, dest="checkpoint_dir",
         help="snapshot full training state here (per-seed subdirectories)",
     )
@@ -469,8 +486,13 @@ def build_parser() -> argparse.ArgumentParser:
 
     lint_p = sub.add_parser("lint", help="static-analysis rules over source trees")
     lint_p.add_argument("paths", nargs="*", default=["src"], help="files or directories (default: src)")
-    lint_p.add_argument("--format", choices=["text", "json"], default="text")
+    lint_p.add_argument("--format", choices=["text", "json", "sarif"], default="text")
     lint_p.add_argument("--select", default=None, help="comma-separated rule ids to run (default: all)")
+    lint_p.add_argument(
+        "--dataflow", action="store_true",
+        help="also run the interprocedural dataflow pass (call-graph escape "
+             "analysis + predict/evaluate purity; see docs/static-analysis.md)",
+    )
     lint_p.add_argument("--list-rules", action="store_true", dest="list_rules", help="print the rule catalogue")
     lint_p.add_argument(
         "--changed", action="store_true",

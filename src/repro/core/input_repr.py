@@ -53,7 +53,10 @@ def multivariate_correlation_weights(x: np.ndarray) -> np.ndarray:
         w -= w.max(axis=-1, keepdims=True)
         np.exp(w, out=w)
         w /= w.sum(axis=-1, keepdims=True)
-        return w
+        # deliberate ownership exception (documented above): the caller
+        # consumes these weights inside the same forward, before the next
+        # checkout of this slot can recycle the buffer
+        return w  # repro: noqa[dataflow-arena-escape]
     corr = corr / max(x.shape[1], 1)
     shifted = corr - corr.max(axis=-1, keepdims=True)
     exp = np.exp(shifted)

@@ -114,7 +114,10 @@ class Conformer(Module):
         if self.flow is not None:
             h_enc = self._pick_hidden(self.encoder.hidden_states(), self.config.flow_hidden_source[0])
             h_dec = self._pick_hidden(self.decoder.hidden_states(), self.config.flow_hidden_source[1])
-            self._flow_inputs = (h_enc, h_dec)
+            # stashed for compute_loss (flow NLL needs the hidden pair);
+            # overwritten by every forward, read only by the training-loss
+            # path — inference never consumes it
+            self._flow_inputs = (h_enc, h_dec)  # repro: noqa[dataflow-impure-predict]
             if self.config.flow_loss == "nll":
                 z_out, _ = self.flow.output_distribution(h_enc, h_dec, deterministic=deterministic)
             else:
@@ -199,10 +202,15 @@ class Conformer(Module):
                     self.flow.sample_distribution(h_enc, h_dec, n_samples=n_samples, out=z_samples)
                 else:
                     self.flow.sample(h_enc, h_dec, n_samples=n_samples, out=z_samples)
-            lam = self.config.lambda_weight
-            blended = np.empty_like(z_samples)
-            np.multiply(z_samples, 1.0 - lam, out=blended)
-            blended += lam * y_out.data[None]
+                # blend INSIDE the inference block: exiting inference_mode
+                # releases the arena checkout, so reading z_samples after
+                # the block would be a use-after-release (the exact hazard
+                # a concurrent request reusing the slot turns into corrupt
+                # forecasts — the alias sanitizer flags it)
+                lam = self.config.lambda_weight
+                blended = np.empty_like(z_samples)
+                np.multiply(z_samples, 1.0 - lam, out=blended)
+                blended += lam * y_out.data[None]
             result = {"point": blended.mean(axis=0), "mean": blended.mean(axis=0), "samples": blended}
             for q in quantiles:
                 result[f"q{q}"] = np.quantile(blended, q, axis=0)

@@ -493,6 +493,8 @@ class AutoCorrelation(AttentionMechanism):
             _roll_time_into(vd, delays[:, j], rolled)
             rolled *= weights[:, j, None, None, None]
             out += rolled
+        # roll scratch dies with the kernel; release its checkout scope
+        get_arena().release("autocorr.")
         return Tensor(out)
 
 

@@ -7,7 +7,8 @@ training those must be fresh — the backward pass reads them — but inside
 check buffers out of this arena instead and numpy's allocator drops out
 of the hot path entirely.
 
-Rules of engagement (enforced by convention, asserted by tests):
+Rules of engagement (enforced by convention, asserted by tests, and —
+under :func:`repro.analysis.alias.alias_guard` — checked at runtime):
 
 - Only *work* buffers that die inside the kernel may come from the arena.
   Anything that escapes — the scan output, a returned hidden state — must
@@ -19,11 +20,21 @@ Rules of engagement (enforced by convention, asserted by tests):
   :meth:`clear`.
 - Buffer contents are NOT zeroed on checkout.  Callers must fully
   overwrite (``out=`` kernels, full-slice assignment) before reading.
+- A checkout is valid until the slot is *released* — by the owning kernel
+  (:meth:`release` with its tag prefix), by the outermost
+  ``inference_mode()`` exit, or by :meth:`clear`.  Holding an array past
+  its release and reading it again is a use-after-release; the alias
+  sanitizer stamps each checkout with a generation and reports exactly
+  that, with a poison fill making even unchecked reads loud.
+
+The ownership hooks follow the engine-sanitizer pattern: a single
+``_alias_hook`` slot that is ``None`` in production, so the hot path pays
+one ``is not None`` test per checkout and nothing else.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Tuple
+from typing import Dict, Optional, Set, Tuple
 
 import numpy as np
 
@@ -35,10 +46,30 @@ class BufferArena:
         self._slots: Dict[tuple, np.ndarray] = {}
         self.hits = 0
         self.misses = 0
+        #: re-keys caused by a dtype change on an existing (tag, shape)
+        #: geometry — e.g. the float32 re-key after ``compute_dtype``
+        #: flips.  Tracked apart from ``misses`` (a collision is *not*
+        #: counted as a miss) so hit-rate gauges aren't inflated by a
+        #: compute-dtype switch masquerading as a cold cache.
+        self.dtype_collisions = 0
         self._nbytes = 0
+        #: dtypes ever seen per (tag, shape) — feeds dtype_collisions
+        self._geometry_dtypes: Dict[tuple, Set[np.dtype]] = {}
         #: most bytes ever pinned at once (survives clear(); memory gauges
         #: report it as the arena's high-water mark)
         self.high_water_bytes = 0
+        #: ownership sanitizer (repro.analysis.alias); None = zero-overhead
+        self._alias_hook = None
+
+    def set_alias_hook(self, hook):
+        """Install (or clear, with None) the ownership sanitizer hook.
+
+        Returns the previous hook so nested guards can restore it (same
+        contract as the engine's ``set_sanitizer``).
+        """
+        previous = self._alias_hook
+        self._alias_hook = hook
+        return previous
 
     def get(self, tag: str, shape: Tuple[int, ...], dtype) -> np.ndarray:
         """Check out an uninitialised (shape, dtype) buffer for ``tag``.
@@ -51,18 +82,57 @@ class BufferArena:
         buf = self._slots.get(key)
         if buf is not None:
             self.hits += 1
+            if self._alias_hook is not None:
+                self._alias_hook.on_arena_checkout(key, buf)
             return buf
-        self.misses += 1
+        geometry = key[:2]
+        seen = self._geometry_dtypes.setdefault(geometry, set())
+        if seen and dtype not in seen:
+            # a dtype re-key on a known (tag, shape) geometry — e.g. the
+            # float32 wave after ``compute_dtype`` flips.  Counted apart
+            # from true cold misses so hit-rate gauges (hits / (hits +
+            # misses)) aren't deflated by a mode switch.
+            self.dtype_collisions += 1
+        else:
+            self.misses += 1
+        seen.add(dtype)
         buf = np.empty(shape, dtype=dtype)
         self._slots[key] = buf
         self._nbytes += buf.nbytes
         if self._nbytes > self.high_water_bytes:
             self.high_water_bytes = self._nbytes
+        if self._alias_hook is not None:
+            self._alias_hook.on_arena_checkout(key, buf)
         return buf
+
+    def release(self, prefix: Optional[str] = None) -> int:
+        """End the current checkouts for every slot tagged ``prefix``.
+
+        The buffers stay allocated (the next :meth:`get` re-checks them
+        out — that *is* the designed reuse), but any array handle held
+        from before the release is now stale.  With no sanitizer attached
+        this is free: ownership is a debug-mode contract, not a hot-path
+        cost.  Under :func:`repro.analysis.alias.alias_guard` each
+        released buffer is poison-filled and registered so a later read
+        through the engine is reported as a use-after-release.
+
+        Returns the number of slots released (0 when no sanitizer is on).
+        """
+        hook = self._alias_hook
+        if hook is None:
+            return 0
+        count = 0
+        for key, buf in self._slots.items():
+            if prefix is None or key[0].startswith(prefix):
+                hook.on_arena_release(key, buf)
+                count += 1
+        return count
 
     def clear(self) -> None:
         """Drop every slot (frees the memory; counters are kept)."""
+        self.release()
         self._slots.clear()
+        self._geometry_dtypes.clear()
         self._nbytes = 0
 
     def stats(self) -> Dict[str, int]:
@@ -70,6 +140,7 @@ class BufferArena:
             "slots": len(self._slots),
             "hits": self.hits,
             "misses": self.misses,
+            "dtype_collisions": self.dtype_collisions,
             "bytes": self._nbytes,
             "high_water_bytes": self.high_water_bytes,
         }

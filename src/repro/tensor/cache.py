@@ -16,14 +16,45 @@ transform length internally; what this layer adds for the FFT-adjacent
 paths is the surrounding geometry (index maps, scatter matrices) and one
 place to flush everything between experiments.
 
-Cached arrays are shared across calls — builders mark them read-only
-(``setflags(write=False)``) where aliasing bugs would be silent.
+Cached arrays are shared across calls, so the cache itself marks every
+ndarray in a freshly built plan read-only (``setflags(write=False)``) at
+insertion time — a builder cannot forget, and an in-place write anywhere
+downstream raises immediately instead of silently corrupting every later
+forward that shares the plan.  Writes that sneak past the flag (a
+``setflags(write=True)`` re-arm, a mutation through a writeable base) are
+caught by the ownership sanitizer's fingerprint check
+(:mod:`repro.analysis.alias`), which verifies every cached array on each
+access and again when the guard exits.
 """
 
 from __future__ import annotations
 
 from collections import OrderedDict
-from typing import Callable, Dict, Hashable, Optional
+from typing import Callable, Dict, Hashable, Iterator, Optional
+
+import numpy as np
+
+
+def iter_plan_arrays(value) -> Iterator[np.ndarray]:
+    """Yield every ndarray reachable inside a cached plan value.
+
+    Plans are arrays or (nested) tuples/lists/dicts of arrays — the same
+    shapes builders actually return; anything else is left untouched.
+    """
+    if isinstance(value, np.ndarray):
+        yield value
+    elif isinstance(value, (tuple, list)):
+        for item in value:
+            yield from iter_plan_arrays(item)
+    elif isinstance(value, dict):
+        for item in value.values():
+            yield from iter_plan_arrays(item)
+
+
+def _freeze_plan(value) -> None:
+    """Mark every ndarray in ``value`` read-only (always allowed by numpy)."""
+    for array in iter_plan_arrays(value):
+        array.setflags(write=False)
 
 
 class PlanCache:
@@ -34,13 +65,25 @@ class PlanCache:
         self._entries: "OrderedDict[Hashable, object]" = OrderedDict()
         self.hits = 0
         self.misses = 0
+        #: ownership sanitizer (repro.analysis.alias); None = zero-overhead
+        self._alias_hook = None
+
+    def set_alias_hook(self, hook):
+        """Install (or clear, with None) the ownership sanitizer hook.
+
+        Returns the previous hook so nested guards can restore it.
+        """
+        previous = self._alias_hook
+        self._alias_hook = hook
+        return previous
 
     def get(self, key: Hashable, builder: Callable[[], object]):
         """Return the cached plan for ``key``, building it on first use.
 
         ``key`` must capture every input the builder reads (lengths,
         windows, flags, dtype): a changed shape therefore misses and
-        rebuilds instead of serving a stale plan.
+        rebuilds instead of serving a stale plan.  Every ndarray in the
+        built plan is frozen read-only before it is shared.
         """
         try:
             value = self._entries[key]
@@ -48,12 +91,19 @@ class PlanCache:
             pass
         else:
             self.hits += 1
+            if self._alias_hook is not None:
+                self._alias_hook.on_plan_access(key, value)
             return value
         self.misses += 1
         value = builder()
+        _freeze_plan(value)
         if len(self._entries) >= self.maxsize:
-            self._entries.popitem(last=False)  # FIFO: oldest plan goes first
+            evicted_key, evicted = self._entries.popitem(last=False)  # FIFO
+            if self._alias_hook is not None:
+                self._alias_hook.on_plan_evict(evicted_key, evicted)
         self._entries[key] = value
+        if self._alias_hook is not None:
+            self._alias_hook.on_plan_insert(key, value)
         return value
 
     def invalidate(self, prefix: Optional[str] = None) -> int:
@@ -62,15 +112,16 @@ class PlanCache:
         Returns the number of entries removed.
         """
         if prefix is None:
-            count = len(self._entries)
-            self._entries.clear()
-            return count
-        doomed = [
-            key for key in self._entries
-            if isinstance(key, tuple) and key and key[0] == prefix
-        ]
+            doomed = list(self._entries)
+        else:
+            doomed = [
+                key for key in self._entries
+                if isinstance(key, tuple) and key and key[0] == prefix
+            ]
         for key in doomed:
-            del self._entries[key]
+            value = self._entries.pop(key)
+            if self._alias_hook is not None:
+                self._alias_hook.on_plan_evict(key, value)
         return len(doomed)
 
     def stats(self) -> Dict[str, int]:

@@ -522,6 +522,10 @@ def _gru_sequence_inference(x_proj: Tensor, h0: Tensor, weight_hh: Tensor, bias_
         h *= z
         h += n_buf
         out[:, t] = h
+    # the work buffers die here: releasing the scope lets the alias
+    # sanitizer flag any handle that leaked out of the kernel (no-op when
+    # no sanitizer is attached)
+    arena.release("gru.")
     if _engine._SANITIZER is not None:
         _engine._SANITIZER.check_sequence("gru_sequence", out, time_axis=1)
     return Tensor(out)
@@ -634,6 +638,7 @@ def _lstm_sequence_inference(x_proj: Tensor, h0: Tensor, c0: Tensor, weight_hh: 
         np.multiply(o, tmp, out=h)
         out[:, t, :hidden] = h
         out[:, t, hidden:] = c
+    arena.release("lstm.")
     if _engine._SANITIZER is not None:
         _engine._SANITIZER.check_sequence("lstm_sequence", out, time_axis=1)
     return Tensor(out)

@@ -125,6 +125,12 @@ def inference_mode():
     scratch each step (see :mod:`repro.tensor.arena`).  Nests freely with
     itself and with :func:`no_grad`; the previous state is restored on exit.
     Tensors produced inside must never be used in a later ``backward()``.
+
+    The *outermost* exit is an ownership boundary: every arena checkout is
+    released, so an array that leaked out of the block is flagged as a
+    use-after-release by the alias sanitizer on its next engine use
+    (:mod:`repro.analysis.alias`).  With no sanitizer installed the
+    release is a single attribute test — the fast path stays free.
     """
     global _GRAD_ENABLED, _INFERENCE_MODE
     prev_grad, prev_inf = _GRAD_ENABLED, _INFERENCE_MODE
@@ -133,6 +139,10 @@ def inference_mode():
         yield
     finally:
         _GRAD_ENABLED, _INFERENCE_MODE = prev_grad, prev_inf
+        if not prev_inf:
+            from repro.tensor.arena import get_arena
+
+            get_arena().release()
 
 
 def tape_node_count() -> int:

@@ -1,0 +1,401 @@
+"""Interprocedural dataflow gate: seeded path bugs must be found, the
+shipped tree must be clean, and the reporters must stay CI-consumable.
+
+The fixtures write tiny package trees into ``tmp_path`` with one planted
+hazard each — an arena buffer returned to the caller, an ``np.random``
+draw three calls below ``predict`` — and assert
+:func:`repro.analysis.dataflow.dataflow_paths` reports it with the right
+rule id, the offending line, and the call chain that reaches it.
+"""
+
+from __future__ import annotations
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+from textwrap import dedent
+
+import pytest
+
+from repro.analysis.dataflow import (
+    RULE_ARENA_ESCAPE,
+    RULE_IMPURE_PREDICT,
+    build_call_graph,
+    dataflow_paths,
+)
+from repro.analysis.reporters import render_sarif
+from repro.analysis.lint import Finding
+
+pytestmark = pytest.mark.alias
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+SRC = REPO_ROOT / "src" / "repro"
+
+
+def _write_tree(root: Path, files: dict) -> Path:
+    for name, source in files.items():
+        path = root / name
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(dedent(source).lstrip("\n"))
+    return root
+
+
+# ----------------------------------------------------------------------
+# call graph
+# ----------------------------------------------------------------------
+class TestCallGraph:
+    def test_real_tree_resolves_predict_to_forward(self):
+        graph = build_call_graph([SRC])
+        predict = graph.functions[("core.model", "Conformer", "predict")]
+        targets = {target.qualname for _, target in graph.edges(predict)}
+        assert "core.model.Conformer.forward" in targets
+        assert "tensor.tensor.inference_mode" in targets
+
+    def test_bare_and_imported_calls_resolve(self, tmp_path):
+        _write_tree(tmp_path, {
+            "helpers.py": """
+                def leaf():
+                    return 1
+
+                def middle():
+                    return leaf()
+            """,
+            "entry.py": """
+                from helpers import middle
+
+                def run():
+                    return middle()
+            """,
+        })
+        graph = build_call_graph([tmp_path])
+        run = graph.functions[("entry", None, "run")]
+        middle = graph.functions[("helpers", None, "middle")]
+        assert [t.qualname for _, t in graph.edges(run)] == ["helpers.middle"]
+        assert [t.qualname for _, t in graph.edges(middle)] == ["helpers.leaf"]
+
+    def test_self_calls_resolve_through_base_classes(self, tmp_path):
+        _write_tree(tmp_path, {
+            "base.py": """
+                class Base:
+                    def helper(self):
+                        return 0
+            """,
+            "child.py": """
+                from base import Base
+
+                class Child(Base):
+                    def run(self):
+                        return self.helper()
+            """,
+        })
+        graph = build_call_graph([tmp_path])
+        run = graph.functions[("child", "Child", "run")]
+        assert [t.qualname for _, t in graph.edges(run)] == ["base.Base.helper"]
+
+    def test_builtin_method_names_never_grow_edges(self, tmp_path):
+        """``payload.update(...)`` is dict.update — it must not resolve to
+        a project function that happens to be called ``update``."""
+        _write_tree(tmp_path, {
+            "stopper.py": """
+                class EarlyStopping:
+                    def update(self, loss):
+                        self.best = loss
+            """,
+            "log.py": """
+                def emit(payload, fields):
+                    payload.update(fields)
+            """,
+        })
+        graph = build_call_graph([tmp_path])
+        emit = graph.functions[("log", None, "emit")]
+        assert list(graph.edges(emit)) == []
+
+
+# ----------------------------------------------------------------------
+# seeded mutation: arena buffer escapes its kernel
+# ----------------------------------------------------------------------
+class TestEscapeAnalysis:
+    def test_returned_checkout_is_reported(self, tmp_path):
+        _write_tree(tmp_path, {
+            "kernel.py": """
+                from repro.tensor.arena import get_arena
+
+                def scratch(shape):
+                    buf = get_arena().get("fix.scratch", shape, "float64")
+                    buf[:] = 0.0
+                    return buf
+            """,
+        })
+        findings = dataflow_paths([tmp_path])
+        assert [f.rule_id for f in findings] == [RULE_ARENA_ESCAPE]
+        assert "fix.scratch" in findings[0].message
+        assert "kernel.scratch" in findings[0].message
+        assert findings[0].line == 6
+
+    def test_escape_through_alias_view_and_wrapper(self, tmp_path):
+        _write_tree(tmp_path, {
+            "kernel.py": """
+                from repro.tensor import Tensor
+                from repro.tensor.arena import get_arena
+
+                def alias_escape(shape):
+                    arena = get_arena()
+                    buf = arena.get("fix.alias", shape, "float64")
+                    view = buf.reshape(-1)
+                    return Tensor(view)
+            """,
+        })
+        findings = dataflow_paths([tmp_path])
+        assert [f.rule_id for f in findings] == [RULE_ARENA_ESCAPE]
+        assert "fix.alias" in findings[0].message
+
+    def test_self_store_is_reported(self, tmp_path):
+        _write_tree(tmp_path, {
+            "kernel.py": """
+                from repro.tensor.arena import get_arena
+
+                class Holder:
+                    def grab(self, shape):
+                        self.kept = get_arena().get("fix.kept", shape, "f8")
+            """,
+        })
+        findings = dataflow_paths([tmp_path])
+        assert [f.rule_id for f in findings] == [RULE_ARENA_ESCAPE]
+        assert "self.kept" in findings[0].message
+
+    def test_consumed_checkout_is_clean(self, tmp_path):
+        _write_tree(tmp_path, {
+            "kernel.py": """
+                import numpy as np
+                from repro.tensor.arena import get_arena
+
+                def consume(x):
+                    buf = get_arena().get("fix.ok", x.shape, x.dtype)
+                    np.multiply(x, 2.0, out=buf)
+                    return float(buf.sum())
+            """,
+        })
+        assert dataflow_paths([tmp_path]) == []
+
+    def test_rebinding_clears_taint(self, tmp_path):
+        _write_tree(tmp_path, {
+            "kernel.py": """
+                import numpy as np
+                from repro.tensor.arena import get_arena
+
+                def fresh_copy(shape):
+                    buf = get_arena().get("fix.copy", shape, "f8")
+                    buf = np.zeros(shape)  # rebound to fresh memory
+                    return buf
+            """,
+        })
+        assert dataflow_paths([tmp_path]) == []
+
+
+# ----------------------------------------------------------------------
+# seeded mutation: impure predict path
+# ----------------------------------------------------------------------
+class TestPurityAnalysis:
+    def test_rng_three_calls_below_predict_is_reported(self, tmp_path):
+        _write_tree(tmp_path, {
+            "noise.py": """
+                import numpy as np
+
+                def draw(shape):
+                    return np.random.normal(size=shape)
+            """,
+            "mid.py": """
+                from noise import draw
+
+                def jitter(x):
+                    return x + draw(x.shape)
+            """,
+            "model.py": """
+                from mid import jitter
+
+                def predict(x):
+                    return jitter(x)
+            """,
+        })
+        findings = dataflow_paths([tmp_path])
+        assert [f.rule_id for f in findings] == [RULE_IMPURE_PREDICT]
+        finding = findings[0]
+        assert finding.path.endswith("noise.py"), "anchored at the impure line"
+        assert "np.random.normal" in finding.message
+        # the chain names every hop from the entry to the draw
+        assert "model.predict -> mid.jitter -> noise.draw" in finding.message
+
+    def test_backward_in_evaluate_path_is_reported(self, tmp_path):
+        _write_tree(tmp_path, {
+            "runner.py": """
+                def evaluate_loss(model, loss):
+                    loss.backward()
+                    return loss
+            """,
+        })
+        findings = dataflow_paths([tmp_path])
+        assert [f.rule_id for f in findings] == [RULE_IMPURE_PREDICT]
+        assert "backward()" in findings[0].message
+
+    def test_state_write_in_predict_closure_is_reported(self, tmp_path):
+        _write_tree(tmp_path, {
+            "model.py": """
+                class Model:
+                    def forward(self, x):
+                        self.last_input = x
+                        return x
+
+                    def predict(self, x):
+                        return self.forward(x)
+            """,
+        })
+        findings = dataflow_paths([tmp_path])
+        assert [f.rule_id for f in findings] == [RULE_IMPURE_PREDICT]
+        assert "self.last_input" in findings[0].message
+
+    def test_init_and_train_boundaries_are_not_flagged(self, tmp_path):
+        _write_tree(tmp_path, {
+            "model.py": """
+                class Model:
+                    def __init__(self):
+                        self.weights = [1.0]
+
+                    def train(self, mode=True):
+                        self.training = mode
+
+                    def eval(self):
+                        self.train(False)
+
+                    def predict(self, x):
+                        self.eval()
+                        return x
+            """,
+        })
+        assert dataflow_paths([tmp_path]) == []
+
+    def test_shortest_chain_wins_attribution(self, tmp_path):
+        _write_tree(tmp_path, {
+            "model.py": """
+                import numpy as np
+
+                def _draw():
+                    return np.random.normal()
+
+                def predict_direct(x):
+                    return x + _draw()
+
+                def predict_nested(x):
+                    return predict_direct(x)
+            """,
+        })
+        findings = dataflow_paths([tmp_path])
+        assert len(findings) == 1, "one finding per impure line, not per entry"
+        assert "model.predict_direct -> model._draw" in findings[0].message
+
+    def test_noqa_suppresses_at_the_impure_line(self, tmp_path):
+        _write_tree(tmp_path, {
+            "kernel.py": """
+                from repro.tensor.arena import get_arena
+
+                def scratch(shape):
+                    buf = get_arena().get("fix.noqa", shape, "f8")
+                    return buf  # repro: noqa[dataflow-arena-escape]
+            """,
+        })
+        assert dataflow_paths([tmp_path]) == []
+
+
+# ----------------------------------------------------------------------
+# shipped tree + reporters + CLI
+# ----------------------------------------------------------------------
+@pytest.mark.lint
+class TestShippedTree:
+    def test_library_tree_is_dataflow_clean(self):
+        findings = dataflow_paths([SRC])
+        assert not findings, "dataflow findings in library code:\n" + "\n".join(
+            f.render() for f in findings
+        )
+
+    def test_dataflow_rule_ids_are_registered(self):
+        from repro.analysis.rules import all_rules
+
+        registry = all_rules()
+        assert RULE_ARENA_ESCAPE in registry
+        assert RULE_IMPURE_PREDICT in registry
+        # engine-level: documented and noqa-able, never run per-file
+        assert getattr(registry[RULE_ARENA_ESCAPE], "engine_level", False)
+
+
+class TestSarifReporter:
+    def test_sarif_envelope_shape(self):
+        findings = [
+            Finding("src/repro/x.py", 10, 4, RULE_ARENA_ESCAPE, "buffer escapes"),
+            Finding("src/repro/y.py", 3, 0, "no-print", "print() in library"),
+        ]
+        log = json.loads(render_sarif(findings, files_scanned=2))
+        assert log["version"] == "2.1.0"
+        assert "sarif-schema-2.1.0" in log["$schema"]
+        (run,) = log["runs"]
+        assert run["tool"]["driver"]["name"] == "repro-lint"
+        rule_ids = [r["id"] for r in run["tool"]["driver"]["rules"]]
+        assert rule_ids == sorted(rule_ids)
+        assert set(rule_ids) == {RULE_ARENA_ESCAPE, "no-print"}
+        result = run["results"][0]
+        assert result["ruleId"] == RULE_ARENA_ESCAPE
+        assert result["level"] == "error"
+        location = result["locations"][0]["physicalLocation"]
+        assert location["artifactLocation"]["uri"] == "src/repro/x.py"
+        # SARIF regions are 1-based; Finding.col is a 0-based AST offset
+        assert location["region"] == {"startLine": 10, "startColumn": 5}
+
+    def test_registered_rules_carry_descriptions(self):
+        findings = [Finding("a.py", 1, 0, "no-print", "x")]
+        log = json.loads(render_sarif(findings))
+        (descriptor,) = log["runs"][0]["tool"]["driver"]["rules"]
+        assert descriptor["shortDescription"]["text"]
+
+    def test_empty_run_is_valid(self):
+        log = json.loads(render_sarif([], files_scanned=99))
+        assert log["runs"][0]["results"] == []
+        assert log["runs"][0]["properties"]["files_scanned"] == 99
+
+
+class TestCli:
+    def _lint(self, *args):
+        return subprocess.run(
+            [sys.executable, "-m", "repro.cli", "lint", *args],
+            capture_output=True, text=True,
+            env={"PYTHONPATH": str(REPO_ROOT / "src"), "PATH": "/usr/bin:/bin"},
+            cwd=REPO_ROOT,
+        )
+
+    def test_lint_dataflow_clean_tree_exits_zero(self):
+        proc = self._lint("src", "--dataflow")
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+
+    def test_lint_dataflow_seeded_bug_exits_one(self, tmp_path):
+        _write_tree(tmp_path, {
+            "kernel.py": """
+                from repro.tensor.arena import get_arena
+
+                def scratch(shape):
+                    return get_arena().get("fix.cli", shape, "f8")
+            """,
+        })
+        proc = self._lint(str(tmp_path), "--dataflow")
+        assert proc.returncode == 1
+        assert RULE_ARENA_ESCAPE in proc.stdout
+
+    def test_lint_format_sarif_parses(self, tmp_path):
+        _write_tree(tmp_path, {
+            "bad.py": """
+                def predict(x):
+                    print(x)
+                    return x
+            """,
+        })
+        proc = self._lint(str(tmp_path), "--format", "sarif")
+        assert proc.returncode == 1
+        log = json.loads(proc.stdout)
+        assert log["runs"][0]["results"][0]["ruleId"] == "no-print"
