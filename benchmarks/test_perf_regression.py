@@ -173,3 +173,36 @@ def test_alias_checks_overhead_when_disabled():
     # within 2x bounds scheduler noise without a flaky absolute threshold
     ratio = max(arm_a, arm_b) / min(arm_a, arm_b)
     assert ratio < 2.0, f"disabled-mode timing unstable: {ratio:.2f}x"
+
+
+@pytest.mark.perf
+@pytest.mark.serving
+def test_serving_microbatch_throughput():
+    """Micro-batching must stay >= 2x serial request throughput.
+
+    Runs the serving load benchmark at the full batch window (8) and
+    writes ``BENCH_serving.json`` at the repo root as the tracked
+    artifact, same as the autodiff/inference guards.  The speedup comes
+    from one batched forward amortizing the engine's per-forward Python
+    overhead across ``max_batch`` requests — if it decays toward 1x, the
+    batcher has stopped coalescing or the forward stopped being
+    overhead-dominated, both worth a loud failure.
+    """
+    from repro.perf.bench import write_bench_json as write_serving_json
+    from repro.serve.bench import BENCH_SERVING_FILENAME, run_serving_benchmark
+
+    result = run_serving_benchmark(n_requests=96, n_series=8, max_batch=8)
+    path = write_serving_json(result, REPO_ROOT / BENCH_SERVING_FILENAME)
+    assert path.exists()
+
+    assert result["throughput_speedup"] >= 2.0, (
+        f"micro-batching speedup regressed: {result['throughput_speedup']:.2f}x"
+    )
+    # the batcher really coalesced: far fewer forwards than requests
+    serial, batched = result["arms"]["serial"], result["arms"]["batched"]
+    assert batched["forwards"] < serial["forwards"] / 2
+    assert batched["mean_batch_size"] > 2.0
+    # the cache converts repeat traffic into hits without losing requests
+    cached = result["arms"]["cached"]
+    assert cached["cached_responses"] > 0
+    assert result["cache"]["hit_rate"] > 0.0

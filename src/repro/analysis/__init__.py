@@ -67,6 +67,7 @@ from repro.analysis.dataflow import (
     CallGraph,
     build_call_graph,
     dataflow_paths,
+    inference_entry,
 )
 from repro.analysis.reporters import render_json, render_sarif, render_text, report_as_dict
 from repro.analysis.rules import DEFAULT_ALLOWLISTS, Rule, all_rules, register
@@ -101,6 +102,7 @@ __all__ = [
     "check_registry",
     "dataflow_paths",
     "default_config",
+    "inference_entry",
     "lint_paths",
     "register",
     "render_json",

@@ -56,6 +56,19 @@ RULE_IMPURE_PREDICT = "dataflow-impure-predict"
 #: function-name prefixes that mark an inference-pure entry point
 ENTRY_PREFIXES = ("predict", "evaluate")
 
+#: decorator names that mark an inference-pure entry point explicitly —
+#: the serving request path (``ForecastServer.submit`` and friends) is
+#: not *named* ``predict*`` but must satisfy the same purity contract.
+#: Decorator-marked entries are checked for global-RNG draws and
+#: ``backward()`` tape walks; unlike name-matched entries they may write
+#: their own bookkeeping state (queues, caches, counters) — serving
+#: machinery is stateful by design, the *numeric* path must stay pure.
+ENTRY_DECORATORS = frozenset({"inference_entry"})
+
+#: purity facets (see :func:`analyze_purity`)
+_ALL_FACETS = frozenset({"rng", "backward", "state"})
+_NUMERIC_FACETS = frozenset({"rng", "backward"})
+
 #: callee names the purity walk does not descend into: train()/eval()
 #: toggle the (caller-restored) training flag by design, and __init__ runs
 #: once at construction, not per request
@@ -118,6 +131,7 @@ class FunctionInfo:
     rel_path: str
     lineno: int
     col: int
+    decorators: Tuple[str, ...] = ()
     calls: List[CallSite] = field(default_factory=list)
     #: (lineno, col, "np.random.<fn>") global-RNG draws in this body
     rng_calls: List[Tuple[int, int, str]] = field(default_factory=list)
@@ -136,7 +150,21 @@ class FunctionInfo:
         return (self.module, self.class_name, self.name)
 
     def is_entry(self) -> bool:
-        return self.name.lstrip("_").startswith(ENTRY_PREFIXES)
+        return (
+            self.name.lstrip("_").startswith(ENTRY_PREFIXES)
+            or bool(ENTRY_DECORATORS.intersection(self.decorators))
+        )
+
+    def entry_facets(self) -> frozenset:
+        """Which purity facets this entry point is checked for.
+
+        Name-matched ``predict*``/``evaluate*`` entries get the full set
+        (RNG, backward, module-state writes); decorator-marked serving
+        entries get the numeric facets only — see :data:`ENTRY_DECORATORS`.
+        """
+        if self.name.lstrip("_").startswith(ENTRY_PREFIXES):
+            return _ALL_FACETS
+        return _NUMERIC_FACETS
 
 
 class CallGraph:
@@ -276,6 +304,21 @@ def _strip_repro(qualified: str) -> str:
     return qualified
 
 
+def _decorator_name(node) -> Optional[str]:
+    """The trailing identifier of a decorator expression.
+
+    Handles ``@f``, ``@mod.f``, and both called forms (``@f(...)``);
+    anything more dynamic yields None rather than a guess.
+    """
+    if isinstance(node, ast.Call):
+        node = node.func
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    return None
+
+
 class _ModuleVisitor(ast.NodeVisitor):
     """One pass over a module collecting functions, facts, and imports."""
 
@@ -325,6 +368,10 @@ class _ModuleVisitor(ast.NodeVisitor):
             rel_path=self.rel_path,
             lineno=node.lineno,
             col=node.col_offset,
+            decorators=tuple(
+                name for name in (_decorator_name(dec) for dec in node.decorator_list)
+                if name is not None
+            ),
         )
         self.graph.add_function(info)
         self._func_stack.append(info)
@@ -625,16 +672,21 @@ def analyze_purity(graph: CallGraph) -> List[Finding]:
     Each offending statement is reported once, attributed to the shortest
     entry chain that reaches it — the finding's location is the impure
     line itself, so an inline noqa there suppresses it for every entry.
+    Decorator-marked entries (:data:`ENTRY_DECORATORS`) check the RNG and
+    backward facets only; see :meth:`FunctionInfo.entry_facets`.
     """
     #: (path, line, facet, detail) -> (chain, Finding-builder args)
     seen: Dict[Tuple, Tuple[List[str], Finding]] = {}
     for entry in graph.functions.values():
         if not entry.is_entry():
             continue
+        facets = entry.entry_facets()
         chains = _closure(graph, entry)
         for key, chain in chains.items():
             reached = graph.functions[key]
             for lineno, col, fn in reached.rng_calls:
+                if "rng" not in facets:
+                    continue
                 _keep(seen, (reached.path, lineno, "rng", fn), chain, Finding(
                     reached.path, lineno, col, RULE_IMPURE_PREDICT,
                     f"{fn}() draws from global RNG state on the inference path "
@@ -642,6 +694,8 @@ def analyze_purity(graph: CallGraph) -> List[Finding]:
                     "reproducible — use repro.tensor.random",
                 ))
             for lineno, col in reached.backward_calls:
+                if "backward" not in facets:
+                    continue
                 _keep(seen, (reached.path, lineno, "backward", ""), chain, Finding(
                     reached.path, lineno, col, RULE_IMPURE_PREDICT,
                     f"backward() walks the autodiff tape on the inference path "
@@ -649,7 +703,7 @@ def analyze_purity(graph: CallGraph) -> List[Finding]:
                     "tape-free (inference_mode)",
                 ))
             for lineno, col, attr in reached.state_writes:
-                if reached.name in PURE_BOUNDARY_METHODS:
+                if "state" not in facets or reached.name in PURE_BOUNDARY_METHODS:
                     continue
                 _keep(seen, (reached.path, lineno, "state", attr), chain, Finding(
                     reached.path, lineno, col, RULE_IMPURE_PREDICT,
@@ -658,6 +712,20 @@ def analyze_purity(graph: CallGraph) -> List[Finding]:
                     "sharing this module would corrupt each other",
                 ))
     return [finding for _, finding in seen.values()]
+
+
+def inference_entry(fn):
+    """Mark a function as an inference-purity entry point for
+    ``lint --dataflow`` (see :data:`ENTRY_DECORATORS`).
+
+    The runtime effect is a marker attribute only — the static pass
+    matches the decorator *name* in the AST.  Apply it to serving
+    request-path functions (``submit``, ``forecast_batch``) so their
+    whole call closure is checked for global-RNG draws and ``backward()``
+    exactly like a ``predict*`` method.
+    """
+    fn.__inference_entry__ = True
+    return fn
 
 
 def _keep(seen: Dict, key: Tuple, chain: List[str], finding: Finding) -> None:

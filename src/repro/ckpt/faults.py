@@ -16,6 +16,10 @@ module lets tests (and ``repro.cli run --inject-fault``) plant a
     after the ``K``-th checkpoint temp file is fully written and fsynced
     but before the atomic rename — the checkpoint vanishes, the previous
     one must survive.
+``serve-batch[:K]``
+    inside a serving worker, just before the ``K``-th batched forward —
+    kills the worker mid-flight; the pool's degraded fallback must still
+    serve every queued and in-flight request (tests/test_serve_concurrency).
 
 Instrumented code calls :func:`check` at each point; the call is a
 constant-time no-op (one truthiness test on an empty list) unless a plan
@@ -42,7 +46,7 @@ __all__ = ["SimulatedCrash", "FaultPlan", "inject_fault", "check", "parse_fault"
 
 #: Injection points that count *occurrences* rather than matching an
 #: externally supplied index.
-OCCURRENCE_POINTS = ("ckpt-mid-write", "ckpt-pre-rename")
+OCCURRENCE_POINTS = ("ckpt-mid-write", "ckpt-pre-rename", "serve-batch")
 INDEXED_POINTS = ("step", "epoch")
 
 

@@ -26,11 +26,15 @@ obs trace
     Export a run log's span/op timeline as Chrome-trace JSON
     (load in https://ui.perfetto.dev or chrome://tracing).
 bench
-    Performance benchmarks; every run is appended to the
-    ``benchmarks/results/history.jsonl`` ledger.
+    Performance benchmarks (``--suite autodiff|inference|serving``);
+    every run is appended to the ``benchmarks/results/history.jsonl``
+    ledger through one shared suite registry (repro.perf.suites).
 bench diff
     Compare the newest history record against an earlier run of the
     same benchmark; exit 1 when a metric regressed past the threshold.
+serve-bench
+    Serving load benchmark: serial vs micro-batched vs cached request
+    paths (``BENCH_serving.json``); same artifact/ledger path as bench.
 ckpt inspect
     Verify a checkpoint directory: manifest rows, per-file integrity,
     retention flags, stray temp files from crashed writes.
@@ -157,32 +161,36 @@ def _cmd_efficiency(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_bench(args: argparse.Namespace) -> int:
-    if args.inference:
-        from repro.perf.bench_inference import (
-            BENCH_INFERENCE_FILENAME,
-            format_result,
-            run_inference_benchmark,
-            write_bench_json,
-        )
+#: CLI options forwarded to suite runners; each runner keeps the subset
+#: its signature accepts (see repro.perf.suites.run_suite)
+_BENCH_OPTION_KEYS = (
+    "repeats",
+    "warmup",
+    "n_requests",
+    "n_series",
+    "n_workers",
+    "max_batch",
+    "max_delay",
+)
 
-        repeats, warmup = (2, 1) if args.smoke else (args.repeats, args.warmup)
-        result = run_inference_benchmark(repeats=repeats, warmup=warmup)
-        default_name = BENCH_INFERENCE_FILENAME
-    else:
-        from repro.perf.bench import (
-            BENCH_FILENAME,
-            format_result,
-            run_autodiff_benchmark,
-            write_bench_json,
-        )
 
-        repeats, warmup = (1, 0) if args.smoke else (args.repeats, args.warmup)
-        result = run_autodiff_benchmark(repeats=repeats, warmup=warmup)
-        default_name = BENCH_FILENAME
-    print(format_result(result))
+def _run_bench_suite(suite_name: str, args: argparse.Namespace) -> int:
+    """The one bench execution path: run, print, artifact, history.
+
+    Every suite — autodiff, inference, serving, and anything registered
+    later — flows through here, so the ``BENCH_*.json`` envelope and the
+    bench-history ledger record are produced identically for all of
+    them and ``bench diff`` needs no per-suite knowledge.
+    """
+    from repro.perf.bench import write_bench_json
+    from repro.perf.suites import format_suite_result, get_suite, run_suite
+
+    suite = get_suite(suite_name)
+    options = {key: getattr(args, key, None) for key in _BENCH_OPTION_KEYS}
+    result = run_suite(suite_name, smoke=args.smoke, options=options)
+    print(format_suite_result(suite_name, result))
     if not args.no_json:
-        path = write_bench_json(result, args.json if args.json else Path(default_name))
+        path = write_bench_json(result, args.json if args.json else Path(suite.artifact))
         print(f"[saved to {path}]")
     if not args.no_history:
         from repro.perf.history import append_history
@@ -190,6 +198,17 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         append_history(result, path=args.history)
         print(f"[history appended to {args.history}]")
     return 0
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    suite = args.suite
+    if suite is None:
+        suite = "inference" if args.inference else "autodiff"
+    return _run_bench_suite(suite, args)
+
+
+def _cmd_serve_bench(args: argparse.Namespace) -> int:
+    return _run_bench_suite("serving", args)
 
 
 def _cmd_bench_diff(args: argparse.Namespace) -> int:
@@ -510,20 +529,29 @@ def build_parser() -> argparse.ArgumentParser:
     check_p.add_argument("--format", choices=["text", "json"], default="text")
     check_p.set_defaults(fn=_cmd_check)
 
-    bench_p = sub.add_parser("bench", help="performance benchmarks (training step / inference forward)")
-    bench_p.add_argument("--inference", action="store_true", help="forward-only inference benchmark (BENCH_inference.json)")
-    bench_p.add_argument("--smoke", action="store_true", help="minimal repeats — verify the harness, not the numbers")
+    from repro.perf.history import DEFAULT_HISTORY_PATH, DEFAULT_THRESHOLD
+    from repro.perf.suites import available_suites
+
+    def _bench_io_arguments(target: argparse.ArgumentParser) -> None:
+        """The artifact/ledger options every bench entry point shares."""
+        target.add_argument("--smoke", action="store_true", help="minimal load — verify the harness, not the numbers")
+        target.add_argument("--json", type=Path, default=None, help="artifact path (default ./BENCH_*.json)")
+        target.add_argument("--no-json", action="store_true", help="print only, do not write the artifact")
+        target.add_argument(
+            "--history", type=Path, default=DEFAULT_HISTORY_PATH,
+            help=f"bench-history ledger to append to (default {DEFAULT_HISTORY_PATH})",
+        )
+        target.add_argument("--no-history", action="store_true", help="do not append this run to the ledger")
+
+    bench_p = sub.add_parser("bench", help="performance benchmarks (training step / inference / serving)")
+    bench_p.add_argument(
+        "--suite", default=None, choices=available_suites(),
+        help="benchmark suite to run (default autodiff; see also serve-bench)",
+    )
+    bench_p.add_argument("--inference", action="store_true", help="alias for --suite inference")
     bench_p.add_argument("--repeats", type=int, default=10, help="timed passes per arm (default 10)")
     bench_p.add_argument("--warmup", type=int, default=2, help="untimed warmup passes (default 2)")
-    bench_p.add_argument("--json", type=Path, default=None, help="artifact path (default ./BENCH_*.json)")
-    bench_p.add_argument("--no-json", action="store_true", help="print only, do not write the artifact")
-    from repro.perf.history import DEFAULT_HISTORY_PATH, DEFAULT_THRESHOLD
-
-    bench_p.add_argument(
-        "--history", type=Path, default=DEFAULT_HISTORY_PATH,
-        help=f"bench-history ledger to append to (default {DEFAULT_HISTORY_PATH})",
-    )
-    bench_p.add_argument("--no-history", action="store_true", help="do not append this run to the ledger")
+    _bench_io_arguments(bench_p)
     bench_p.set_defaults(fn=_cmd_bench)
     bench_sub = bench_p.add_subparsers(dest="bench_command")
     diff_p = bench_sub.add_parser("diff", help="compare history records; exit 1 past the regression threshold")
@@ -547,6 +575,21 @@ def build_parser() -> argparse.ArgumentParser:
         help="self-check: verify a seeded synthetic regression is detected (no ledger needed)",
     )
     diff_p.set_defaults(fn=_cmd_bench_diff)
+
+    serve_p = sub.add_parser(
+        "serve-bench",
+        help="serving load benchmark: serial vs micro-batched vs cached (BENCH_serving.json)",
+    )
+    serve_p.add_argument("--requests", type=int, default=96, dest="n_requests", help="requests replayed per arm")
+    serve_p.add_argument("--series", type=int, default=8, dest="n_series", help="distinct series in the trace")
+    serve_p.add_argument("--workers", type=int, default=2, dest="n_workers", help="serving worker threads")
+    serve_p.add_argument("--max-batch", type=int, default=8, dest="max_batch", help="micro-batch size trigger")
+    serve_p.add_argument(
+        "--max-delay", type=float, default=0.005, dest="max_delay",
+        help="micro-batch time trigger in seconds (bounds added latency)",
+    )
+    _bench_io_arguments(serve_p)
+    serve_p.set_defaults(fn=_cmd_serve_bench)
 
     eff_p = sub.add_parser("efficiency", help="attention time/memory comparison (Fig. 5)")
     eff_p.add_argument("--lengths", default="64,128,256,512")

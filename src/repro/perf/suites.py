@@ -1,0 +1,143 @@
+"""One registry of benchmark suites shared by every bench entry point.
+
+Before this module, each benchmark added its own CLI branch (``bench``
+vs ``bench --inference``), its own artifact constant, and its own smoke
+defaults — and ``bench diff`` had to be told names out of band.  Now a
+:class:`BenchSuite` declares all of that once:
+
+- ``name`` — the CLI handle (``--suite serving``);
+- ``benchmark`` — the ``result["benchmark"]`` field, which is also the
+  key ``bench diff`` groups history records by, so a suite registered
+  here automatically flows into the regression ledger with no second
+  code path;
+- ``artifact`` — the default ``BENCH_*.json`` filename;
+- ``runner`` / ``formatter`` — lazily-imported ``"module:function"``
+  references (benchmarks are heavy; listing suites must stay cheap);
+- ``smoke_overrides`` — the kwargs that turn a real run into a tier-1
+  harness check.
+
+:func:`run_suite` filters caller options against the runner's actual
+signature, so one CLI code path can drive runners with different knobs
+(``repeats``/``warmup`` for the engine benches, ``n_requests``/
+``n_workers`` for serving) without per-suite branching.
+"""
+
+from __future__ import annotations
+
+import importlib
+import inspect
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Mapping, Optional
+
+__all__ = [
+    "BenchSuite",
+    "available_suites",
+    "format_suite_result",
+    "get_suite",
+    "register_suite",
+    "run_suite",
+]
+
+
+@dataclass(frozen=True)
+class BenchSuite:
+    """One registered benchmark: names, entry points, smoke defaults."""
+
+    name: str
+    benchmark: str
+    artifact: str
+    description: str
+    runner: str  # "module:function" returning the result dict
+    formatter: str  # "module:function" rendering it for humans
+    smoke_overrides: Mapping[str, object] = field(default_factory=dict)
+
+
+_SUITES: Dict[str, BenchSuite] = {}
+
+
+def register_suite(suite: BenchSuite) -> BenchSuite:
+    """Add a suite to the registry (duplicate names are a bug)."""
+    if suite.name in _SUITES:
+        raise ValueError(f"benchmark suite {suite.name!r} already registered")
+    _SUITES[suite.name] = suite
+    return suite
+
+
+def available_suites() -> List[str]:
+    """Registered suite names, stable order (registration order)."""
+    return list(_SUITES)
+
+
+def get_suite(name: str) -> BenchSuite:
+    try:
+        return _SUITES[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown benchmark suite {name!r}; choose from {available_suites()}"
+        ) from None
+
+
+def _resolve(spec: str) -> Callable:
+    module_name, _, attr = spec.partition(":")
+    return getattr(importlib.import_module(module_name), attr)
+
+
+def run_suite(name: str, smoke: bool = False, options: Optional[Mapping[str, object]] = None) -> dict:
+    """Run one suite; unknown/None options are dropped, smoke wins last.
+
+    Filtering against the runner signature is what lets the CLI pass its
+    whole option bag to any suite — each runner takes what it knows.
+    """
+    suite = get_suite(name)
+    runner = _resolve(suite.runner)
+    params = inspect.signature(runner).parameters
+    kwargs = {
+        k: v for k, v in (options or {}).items() if k in params and v is not None
+    }
+    if smoke:
+        kwargs.update({k: v for k, v in suite.smoke_overrides.items() if k in params})
+    return runner(**kwargs)
+
+
+def format_suite_result(name: str, result: dict) -> str:
+    """Human-readable rendering via the suite's registered formatter."""
+    return _resolve(get_suite(name).formatter)(result)
+
+
+# ----------------------------------------------------------------------
+# the built-in suites (names here are the single source of truth for the
+# CLI, the BENCH_* artifacts, and the bench-history ledger)
+# ----------------------------------------------------------------------
+register_suite(
+    BenchSuite(
+        name="autodiff",
+        benchmark="conformer_training_step",
+        artifact="BENCH_autodiff.json",
+        description="full training step: eager vs fused scan kernels",
+        runner="repro.perf.bench:run_autodiff_benchmark",
+        formatter="repro.perf.bench:format_result",
+        smoke_overrides={"repeats": 1, "warmup": 0},
+    )
+)
+register_suite(
+    BenchSuite(
+        name="inference",
+        benchmark="inference_forward",
+        artifact="BENCH_inference.json",
+        description="forward-only prediction pass: eager vs fused vs no_grad vs fast path",
+        runner="repro.perf.bench_inference:run_inference_benchmark",
+        formatter="repro.perf.bench_inference:format_result",
+        smoke_overrides={"repeats": 2, "warmup": 1},
+    )
+)
+register_suite(
+    BenchSuite(
+        name="serving",
+        benchmark="forecast_serving",
+        artifact="BENCH_serving.json",
+        description="serving load test: serial vs micro-batched vs cached request paths",
+        runner="repro.serve.bench:run_serving_benchmark",
+        formatter="repro.serve.bench:format_result",
+        smoke_overrides={"n_requests": 24, "n_series": 4, "n_workers": 2},
+    )
+)

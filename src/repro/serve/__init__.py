@@ -1,0 +1,53 @@
+"""repro.serve — the forecast-serving runtime.
+
+Turns the repository's trained forecasters into a concurrent service
+(docs/serving.md has the full architecture):
+
+- :class:`~repro.serve.registry.ModelRegistry` — versioned models loaded
+  from :mod:`repro.ckpt` checkpoints, pinned in the tape-free fast path
+  (``inference_mode`` + ``compute_dtype``), hot-swapped atomically;
+- :class:`~repro.serve.batcher.MicroBatcher` — coalesces concurrent
+  per-series requests within a size/time window into one batched
+  forward, with per-request deadline handling;
+- :class:`~repro.serve.cache.ForecastCache` — an LRU keyed on
+  ``(model_version, series_id, horizon)``, invalidated on ingestion and
+  hot-swap;
+- :class:`~repro.serve.pool.WorkerPool` — shard-by-series worker
+  threads with graceful shutdown and a degraded unbatched fallback when
+  a worker dies (fault-injectable via the ``serve-batch`` point);
+- :class:`~repro.serve.server.ForecastServer` — the composition root
+  tying them together, with p50/p95 latency, queue-depth, batch-size,
+  and cache-hit-rate telemetry through :mod:`repro.obs`.
+
+Benchmark it with ``python -m repro.cli serve-bench`` (serial vs
+micro-batched vs cached arms → ``BENCH_serving.json`` + bench-history
+ledger record).
+"""
+
+from repro.serve.batcher import ForecastResponse, MicroBatcher, PendingRequest, PolledWork
+from repro.serve.cache import ForecastCache
+from repro.serve.clock import Clock, ManualClock, MonotonicClock
+from repro.serve.pool import WorkerPool
+from repro.serve.registry import ENGINE_LOCK, ModelRegistry, ModelVersion, ServingSpec
+from repro.serve.server import ForecastServer
+from repro.serve.store import RequestWindow, SeriesStore, cyclic_marks
+
+__all__ = [
+    "ENGINE_LOCK",
+    "Clock",
+    "ForecastCache",
+    "ForecastResponse",
+    "ForecastServer",
+    "ManualClock",
+    "MicroBatcher",
+    "ModelRegistry",
+    "ModelVersion",
+    "MonotonicClock",
+    "PendingRequest",
+    "PolledWork",
+    "RequestWindow",
+    "SeriesStore",
+    "ServingSpec",
+    "WorkerPool",
+    "cyclic_marks",
+]

@@ -1,0 +1,208 @@
+"""Request micro-batching: coalesce concurrent forecasts into one forward.
+
+The engine's batched forward runs essentially the same number of Python
+ops for a batch of 16 as for a batch of 1 — per-request cost is dominated
+by graph overhead, not arithmetic (BENCH_serving.json measures the
+ratio).  The :class:`MicroBatcher` exploits that: concurrent requests
+for the *same model geometry* queue up, and a worker takes them as one
+batch when either
+
+- the queue reaches ``max_batch`` (size trigger, fires immediately), or
+- the oldest queued request has waited ``max_delay`` seconds (time
+  trigger, bounds added latency for sparse traffic).
+
+Deadlines are handled here too: a request whose absolute ``deadline``
+passes while queued is popped *out* of the batch path and reported
+expired, so one slow queue never wastes a forward on a caller that has
+already given up.
+
+The batcher is deliberately passive — every decision is a pure function
+of (queue, ``now``) via :meth:`poll`, with the clock injected — so the
+unit suite drives it deterministically with a :class:`ManualClock` and
+zero sleeps.  :meth:`take` adds the blocking loop workers actually run
+(condition-variable waits, *not* polling sleeps).
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+from concurrent.futures import Future
+
+from repro.serve.clock import Clock
+
+__all__ = ["ForecastResponse", "PendingRequest", "PolledWork", "MicroBatcher"]
+
+
+@dataclass(frozen=True)
+class ForecastResponse:
+    """What every request resolves to — including failures; callers never
+    see a raised exception, they see a ``status`` and an explanation."""
+
+    series_id: str
+    horizon: int
+    status: str  # "ok" | "timeout" | "error"
+    forecast: Optional[np.ndarray] = None
+    model_version: Optional[str] = None
+    batch_size: int = 0
+    cached: bool = False
+    degraded: bool = False
+    latency: float = 0.0
+    error: Optional[str] = None
+
+    @property
+    def ok(self) -> bool:
+        return self.status == "ok"
+
+
+@dataclass
+class PendingRequest:
+    """One queued request plus the future its caller is waiting on."""
+
+    series_id: str
+    horizon: int
+    enqueued_at: float
+    deadline: Optional[float] = None
+    future: Future = field(default_factory=Future)
+
+    def expired(self, now: float) -> bool:
+        return self.deadline is not None and now >= self.deadline
+
+
+@dataclass
+class PolledWork:
+    """One :meth:`MicroBatcher.poll` decision."""
+
+    expired: List[PendingRequest]
+    batch: List[PendingRequest]
+    #: seconds until the time trigger or next deadline could fire
+    #: (None = queue empty, nothing to wait for)
+    wait: Optional[float]
+
+
+class MicroBatcher:
+    """A coalescing request queue for one worker shard."""
+
+    def __init__(self, clock: Clock, max_batch: int = 8, max_delay: float = 0.002) -> None:
+        if max_batch < 1:
+            raise ValueError("max_batch must be >= 1")
+        if max_delay < 0:
+            raise ValueError("max_delay must be >= 0")
+        self.clock = clock
+        self.max_batch = max_batch
+        self.max_delay = max_delay
+        self._queue: deque = deque()
+        self._cond = threading.Condition()
+        self._closed = False
+        self.batches_formed = 0
+        self.coalesced = 0
+
+    # ------------------------------------------------------------------
+    # producer side
+    # ------------------------------------------------------------------
+    def add(self, pending: PendingRequest) -> bool:
+        """Enqueue a request; False if the batcher is closed (caller must
+        route elsewhere — e.g. the server's degraded path)."""
+        with self._cond:
+            if self._closed:
+                return False
+            self._queue.append(pending)
+            self._cond.notify()
+            return True
+
+    def depth(self) -> int:
+        with self._cond:
+            return len(self._queue)
+
+    @property
+    def closed(self) -> bool:
+        with self._cond:
+            return self._closed
+
+    def close(self) -> None:
+        """Stop accepting; blocked :meth:`take` calls drain then return None."""
+        with self._cond:
+            self._closed = True
+            self._cond.notify_all()
+
+    def drain(self) -> List[PendingRequest]:
+        """Pop everything still queued (degraded-mode rescue after close)."""
+        with self._cond:
+            held = list(self._queue)
+            self._queue.clear()
+            return held
+
+    # ------------------------------------------------------------------
+    # consumer side
+    # ------------------------------------------------------------------
+    def poll(self, now: Optional[float] = None) -> PolledWork:
+        """The batching decision at time ``now`` (pure given queue state).
+
+        Expired requests are always popped.  A batch is returned when the
+        size or time trigger has fired (at most ``max_batch`` requests,
+        oldest first); otherwise ``wait`` says how long until the next
+        trigger *could* fire.  A closed batcher flushes unconditionally.
+        """
+        now = self.clock.now() if now is None else now
+        with self._cond:
+            expired: List[PendingRequest] = []
+            kept: deque = deque()
+            while self._queue:
+                pending = self._queue.popleft()
+                (expired if pending.expired(now) else kept).append(pending)
+            self._queue = kept
+
+            batch: List[PendingRequest] = []
+            wait: Optional[float] = None
+            if self._queue:
+                oldest_age = now - self._queue[0].enqueued_at
+                if self._closed or len(self._queue) >= self.max_batch or oldest_age >= self.max_delay:
+                    while self._queue and len(batch) < self.max_batch:
+                        batch.append(self._queue.popleft())
+                    self.batches_formed += 1
+                    self.coalesced += len(batch)
+                else:
+                    wait = self.max_delay - oldest_age
+                    deadlines = [p.deadline for p in self._queue if p.deadline is not None]
+                    if deadlines:
+                        wait = min(wait, max(0.0, min(deadlines) - now))
+            return PolledWork(expired=expired, batch=batch, wait=wait)
+
+    def take(self, poll_floor: float = 1e-4) -> Optional[PolledWork]:
+        """Block until there is work; None once closed *and* empty.
+
+        The wait is condition-variable based: a new :meth:`add` wakes the
+        worker immediately, and the timeout is exactly the time until the
+        batching window or a deadline can fire (floored so a ManualClock
+        that never advances cannot spin the worker hot).
+        """
+        while True:
+            # Condition's default lock is re-entrant, so poll() runs under
+            # the same lock as the wait below — an add() between the two
+            # cannot slip through unnoticed (no missed-wakeup window).
+            with self._cond:
+                work = self.poll()
+                if work.expired or work.batch:
+                    return work
+                if self._closed and not self._queue:
+                    return None
+                if work.wait is not None:
+                    self._cond.wait(timeout=max(poll_floor, work.wait))
+                else:
+                    self._cond.wait()  # empty queue: woken by add()/close()
+
+    def stats(self) -> dict:
+        with self._cond:
+            depth = len(self._queue)
+        mean = self.coalesced / self.batches_formed if self.batches_formed else 0.0
+        return {
+            "depth": depth,
+            "batches_formed": self.batches_formed,
+            "coalesced": self.coalesced,
+            "mean_batch_size": mean,
+        }

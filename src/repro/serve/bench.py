@@ -1,0 +1,204 @@
+"""The serving load benchmark: serial vs micro-batched vs cached.
+
+Replays one synthetic request trace (round-robin over ``n_series``
+series) through three server configurations:
+
+- ``serial``  — batching and caching off: every request runs its own
+  single-window forward inline (the naive serving loop);
+- ``batched`` — the micro-batcher coalesces concurrent requests into
+  batched forwards (cache still off, so every request really computes);
+- ``cached``  — batching *and* the LRU forecast cache: repeat requests
+  for a (series, horizon) hit without a forward.
+
+Because the engine's per-forward cost is dominated by Python op-graph
+overhead rather than arithmetic, a batch of ``max_batch`` costs barely
+more than a batch of one — ``throughput_speedup`` (batched vs serial
+requests/sec) measures exactly that ratio, and
+``benchmarks/test_perf_regression.py`` asserts it stays ≥ 2x.
+
+The result dict uses the shared bench envelope (``benchmark`` /
+``machine`` / ``config`` + numeric leaves), so ``repro.cli serve-bench``
+writes ``BENCH_serving.json`` and appends to the bench-history ledger
+through the same code path as every other suite (see
+:mod:`repro.perf.suites`), and ``bench diff`` gates ``p95_seconds``
+regressions with no serving-specific logic.
+"""
+
+from __future__ import annotations
+
+import platform
+import sys
+from time import perf_counter
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.serve.batcher import ForecastResponse
+from repro.serve.registry import ModelRegistry, ServingSpec
+from repro.serve.server import ForecastServer
+from repro.serve.store import SeriesStore
+
+BENCH_SERVING_FILENAME = "BENCH_serving.json"
+
+#: the three request-path configurations compared, naive -> fast order
+ARMS = ("serial", "batched", "cached")
+
+
+def make_serving_fixture(
+    n_series: int = 8,
+    model: str = "gru",
+    pred_len: int = 8,
+    seed: int = 0,
+    dtype=np.float32,
+):
+    """A loaded (registry, store, spec) triple on synthetic series.
+
+    Shared by the benchmark and the concurrency test-suite so both
+    exercise the same geometry: canonical settings, ``n_series``
+    independent random-walk series, one published model version.
+    """
+    from repro.perf.bench import canonical_settings
+    from repro.training import build_model
+
+    settings = canonical_settings()
+    n_dims = 2
+    spec = ServingSpec(
+        input_len=settings.input_len,
+        label_len=settings.label_len,
+        pred_len=pred_len,
+        n_dims=n_dims,
+    )
+
+    def factory():
+        return build_model(model, n_dims, n_dims, pred_len, settings, seed=seed)
+
+    registry = ModelRegistry(factory, spec, dtype=dtype)
+    registry.publish("v1", factory())
+    store = SeriesStore(n_dims=n_dims)
+    rng = np.random.default_rng(seed)
+    for i in range(n_series):
+        walk = np.cumsum(rng.normal(scale=0.1, size=(2 * spec.input_len, n_dims)), axis=0)
+        store.ingest(f"series-{i}", walk)
+    return registry, store, spec
+
+
+def _drive(
+    server: ForecastServer,
+    series_ids: List[str],
+    n_requests: int,
+    warmup: int = 2,
+) -> Dict[str, float]:
+    """Replay the round-robin trace; wall-clock and latency percentiles.
+
+    Requests are submitted as fast as the caller can enqueue them (the
+    open-loop model a real frontend presents), then all futures are
+    resolved; with batching on, that concurrency is what the batcher
+    coalesces.
+    """
+    for i in range(warmup):
+        server.forecast(series_ids[i % len(series_ids)])
+    forwards_before = sum(v.forwards for v in (server.registry.get(n) for n in server.registry.versions()))
+    start = perf_counter()
+    futures = [server.submit(series_ids[i % len(series_ids)]) for i in range(n_requests)]
+    responses: List[ForecastResponse] = [f.result() for f in futures]
+    wall = perf_counter() - start
+    forwards = sum(v.forwards for v in (server.registry.get(n) for n in server.registry.versions()))
+    bad = [r for r in responses if not r.ok]
+    if bad:
+        raise RuntimeError(f"{len(bad)} of {n_requests} bench requests failed: {bad[0].error}")
+    latencies = np.array([r.latency for r in responses])
+    return {
+        "requests": n_requests,
+        "wall_seconds": wall,
+        "requests_per_sec": n_requests / wall,
+        "p50_seconds": float(np.percentile(latencies, 50)),
+        "p95_seconds": float(np.percentile(latencies, 95)),
+        "forwards": forwards - forwards_before,
+        "batched_responses": sum(1 for r in responses if r.batch_size > 1),
+        "cached_responses": sum(1 for r in responses if r.cached),
+    }
+
+
+def run_serving_benchmark(
+    n_requests: int = 96,
+    n_series: int = 8,
+    n_workers: int = 2,
+    max_batch: int = 8,
+    max_delay: float = 0.005,
+    model: str = "gru",
+    seed: int = 0,
+) -> dict:
+    """The full serial/batched/cached comparison on one request trace."""
+    registry, store, spec = make_serving_fixture(
+        n_series=n_series, model=model, seed=seed
+    )
+    series_ids = store.series_ids()
+    arms: Dict[str, Dict[str, float]] = {}
+    arm_configs = {
+        "serial": dict(batching=False, cache_enabled=False),
+        "batched": dict(batching=True, cache_enabled=False),
+        "cached": dict(batching=True, cache_enabled=True),
+    }
+    caches: Dict[str, Optional[dict]] = {}
+    for arm in ARMS:
+        server = ForecastServer(
+            registry,
+            store,
+            n_workers=n_workers,
+            max_batch=max_batch,
+            max_delay=max_delay,
+            **arm_configs[arm],
+        )
+        try:
+            arms[arm] = _drive(server, series_ids, n_requests)
+            arms[arm]["mean_batch_size"] = (
+                server._batch_size.mean if server._batch_size.count else 1.0
+            )
+            caches[arm] = server.cache.stats() if arm_configs[arm]["cache_enabled"] else None
+        finally:
+            server.shutdown()
+    result = {
+        "benchmark": "forecast_serving",
+        "description": "request-path throughput: serial vs micro-batched vs micro-batched+cache",
+        "machine": {
+            "platform": platform.platform(),
+            "python": sys.version.split()[0],
+            "numpy": np.__version__,
+        },
+        "config": {
+            "n_requests": n_requests,
+            "n_series": n_series,
+            "n_workers": n_workers,
+            "max_batch": max_batch,
+            "max_delay": max_delay,
+            "model": model,
+            "pred_len": spec.pred_len,
+            "input_len": spec.input_len,
+            "dtype": "float32",
+            "seed": seed,
+        },
+        "arms": arms,
+        "throughput_speedup": arms["batched"]["requests_per_sec"] / arms["serial"]["requests_per_sec"],
+        "cached_speedup": arms["cached"]["requests_per_sec"] / arms["serial"]["requests_per_sec"],
+        "cache": caches["cached"],
+    }
+    return result
+
+
+def format_result(result: dict) -> str:
+    """Human-readable summary of :func:`run_serving_benchmark` output."""
+    lines = [result["benchmark"], "-" * len(result["benchmark"])]
+    for arm in ARMS:
+        row = result["arms"][arm]
+        lines.append(
+            f"  {arm:<8} {row['requests_per_sec']:8.1f} req/s  "
+            f"p50 {row['p50_seconds'] * 1e3:7.2f} ms  p95 {row['p95_seconds'] * 1e3:7.2f} ms  "
+            f"{row['forwards']:4d} forwards  mean batch {row['mean_batch_size']:.1f}"
+        )
+    cache = result.get("cache") or {}
+    lines.append(
+        f"  micro-batching speedup {result['throughput_speedup']:.2f}x, "
+        f"with cache {result['cached_speedup']:.2f}x "
+        f"(hit rate {cache.get('hit_rate', 0.0):.0%})"
+    )
+    return "\n".join(lines)

@@ -1,0 +1,48 @@
+"""Injectable time source for the serving runtime.
+
+Every serve component that reasons about time — the micro-batcher's
+coalescing window, request deadlines, latency measurement — reads it
+through a :class:`Clock` rather than calling :func:`time.monotonic`
+directly.  Production uses :class:`MonotonicClock`; the deterministic
+test suites use :class:`ManualClock` and *advance time explicitly*, so
+timeout and batching-window behaviour is asserted without a single
+wall-clock sleep (the concurrency suite's hard rule).
+
+Clock values are monotonic seconds with an arbitrary epoch.  Deadlines
+are absolute clock readings, never durations, so comparing against
+``clock.now()`` is race-free under either implementation.
+"""
+
+from __future__ import annotations
+
+import time
+
+
+class Clock:
+    """Time-source protocol: a monotonic ``now()`` in seconds."""
+
+    def now(self) -> float:
+        raise NotImplementedError
+
+
+class MonotonicClock(Clock):
+    """The production clock (:func:`time.monotonic`)."""
+
+    def now(self) -> float:
+        return time.monotonic()
+
+
+class ManualClock(Clock):
+    """A clock tests drive by hand; time moves only via :meth:`advance`."""
+
+    def __init__(self, start: float = 0.0) -> None:
+        self._now = float(start)
+
+    def now(self) -> float:
+        return self._now
+
+    def advance(self, seconds: float) -> float:
+        if seconds < 0:
+            raise ValueError("time cannot run backwards")
+        self._now += float(seconds)
+        return self._now

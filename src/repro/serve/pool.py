@@ -1,0 +1,153 @@
+"""Worker pool: shard-by-series batch execution with degraded fallback.
+
+Each worker thread owns one :class:`~repro.serve.batcher.MicroBatcher`
+shard; requests route to ``crc32(series_id) % n_workers``, so one
+series' requests always coalesce in the same queue (and a hot series
+cannot starve every shard).  The numpy engine itself is single-threaded
+(forwards serialise on :data:`repro.serve.registry.ENGINE_LOCK`), so the
+pool's parallelism covers everything *around* the forward: window
+assembly, cache traffic, deadline bookkeeping, and response delivery
+overlap with the kernel run of another shard.
+
+Fault story (rehearsed, like :mod:`repro.ckpt.faults` — it shares that
+exact injection machinery via the ``serve-batch`` point): a worker that
+crashes mid-batch marks itself dead, *closes* its shard queue (so the
+router stops feeding it, race-free: ``add`` on a closed batcher refuses),
+and rescues every in-flight and queued request through the server's
+unbatched degraded path before exiting.  No request is ever dropped or
+answered twice; the pool reports ``workers_alive`` so operators see the
+degradation.  Handler bugs that are not simulated crashes fail only the
+requests in that batch (status ``error``) and leave the worker alive.
+"""
+
+from __future__ import annotations
+
+import threading
+import zlib
+from typing import Callable, List
+
+from repro.ckpt import faults as ckpt_faults
+from repro.serve.batcher import MicroBatcher, PendingRequest
+from repro.serve.clock import Clock
+
+__all__ = ["WorkerPool"]
+
+
+class WorkerPool:
+    """N worker threads, one micro-batcher shard each."""
+
+    def __init__(
+        self,
+        n_workers: int,
+        clock: Clock,
+        handler: Callable[[List[PendingRequest]], None],
+        rescue: Callable[..., None],  # (pending, error=None)
+        expire: Callable[[PendingRequest], None],
+        max_batch: int = 8,
+        max_delay: float = 0.002,
+    ) -> None:
+        if n_workers < 1:
+            raise ValueError("n_workers must be >= 1")
+        self.clock = clock
+        self.handler = handler
+        self.rescue = rescue
+        self.expire = expire
+        self.batchers = [
+            MicroBatcher(clock, max_batch=max_batch, max_delay=max_delay) for _ in range(n_workers)
+        ]
+        self._alive = [True] * n_workers
+        self._lock = threading.Lock()
+        self.crashes = 0
+        self.batch_errors = 0
+        self._threads = [
+            threading.Thread(target=self._run, args=(i,), name=f"serve-worker-{i}", daemon=True)
+            for i in range(n_workers)
+        ]
+        for thread in self._threads:
+            thread.start()
+
+    # ------------------------------------------------------------------
+    # routing
+    # ------------------------------------------------------------------
+    def shard(self, series_id: str) -> int:
+        """Stable series -> worker assignment (crc32, not salted hash)."""
+        return zlib.crc32(series_id.encode("utf-8")) % len(self.batchers)
+
+    def submit(self, pending: PendingRequest) -> bool:
+        """Route to the series' shard; False when that worker is dead or
+        shutting down (the caller serves degraded instead)."""
+        index = self.shard(pending.series_id)
+        if not self._alive[index]:
+            return False
+        return self.batchers[index].add(pending)
+
+    # ------------------------------------------------------------------
+    # worker loop
+    # ------------------------------------------------------------------
+    def _run(self, index: int) -> None:
+        batcher = self.batchers[index]
+        while True:
+            work = batcher.take()
+            if work is None:  # closed and drained: graceful exit
+                return
+            for pending in work.expired:
+                self.expire(pending)
+            if not work.batch:
+                continue
+            try:
+                ckpt_faults.check("serve-batch")
+                self.handler(work.batch)
+            except ckpt_faults.SimulatedCrash:
+                # the worker "process" dies mid-flight: stop accepting
+                # (closing the queue makes the router's submit refuse,
+                # with no alive-check race), then rescue everything this
+                # worker owned through the unbatched degraded path.
+                self._alive[index] = False
+                with self._lock:
+                    self.crashes += 1
+                batcher.close()
+                for pending in work.batch + batcher.drain():
+                    self.rescue(pending)
+                return
+            except Exception as exc:
+                with self._lock:
+                    self.batch_errors += 1
+                for pending in work.batch:
+                    self.rescue(pending, exc)
+
+    # ------------------------------------------------------------------
+    # lifecycle / introspection
+    # ------------------------------------------------------------------
+    def close(self, join_timeout: float = 10.0) -> None:
+        """Graceful shutdown: drain every queue, then join the workers.
+
+        Dead workers' shards are drained here too — anything a crashed
+        worker could not rescue (it never runs again) goes through the
+        degraded path now, so shutdown never strands a request.
+        """
+        for batcher in self.batchers:
+            batcher.close()
+        for thread in self._threads:
+            thread.join(timeout=join_timeout)
+        for batcher in self.batchers:
+            for pending in batcher.drain():
+                self.rescue(pending)
+
+    def alive_count(self) -> int:
+        return sum(1 for alive in self._alive if alive)
+
+    def is_alive(self, index: int) -> bool:
+        return self._alive[index]
+
+    def depth(self) -> int:
+        return sum(batcher.depth() for batcher in self.batchers)
+
+    def stats(self) -> dict:
+        return {
+            "workers": len(self.batchers),
+            "alive": self.alive_count(),
+            "crashes": self.crashes,
+            "batch_errors": self.batch_errors,
+            "depth": self.depth(),
+            "shards": [batcher.stats() for batcher in self.batchers],
+        }

@@ -306,6 +306,104 @@ class TestPurityAnalysis:
         assert dataflow_paths([tmp_path]) == []
 
 
+class TestInferenceEntryDecorator:
+    """Decorator-marked serving entry points (``@inference_entry``) are
+    purity-checked like ``predict*`` for the numeric facets — global RNG
+    and ``backward()`` — but not for state writes, because serving
+    machinery (counters, caches, futures) is stateful by design."""
+
+    def test_rng_three_calls_below_decorated_entry_is_reported(self, tmp_path):
+        _write_tree(tmp_path, {
+            "noise.py": """
+                import numpy as np
+
+                def draw(shape):
+                    return np.random.normal(size=shape)
+            """,
+            "mid.py": """
+                from noise import draw
+
+                def jitter(x):
+                    return x + draw(x.shape)
+            """,
+            "server.py": """
+                from repro.analysis import inference_entry
+                from mid import jitter
+
+                @inference_entry
+                def serve_request(x):
+                    return jitter(x)
+            """,
+        })
+        findings = dataflow_paths([tmp_path])
+        assert [f.rule_id for f in findings] == [RULE_IMPURE_PREDICT]
+        finding = findings[0]
+        assert finding.path.endswith("noise.py"), "anchored at the impure line"
+        assert "server.serve_request -> mid.jitter -> noise.draw" in finding.message
+
+    def test_backward_below_decorated_entry_is_reported(self, tmp_path):
+        _write_tree(tmp_path, {
+            "server.py": """
+                from repro.analysis.dataflow import inference_entry
+
+                def settle(loss):
+                    loss.backward()
+
+                @inference_entry
+                def serve_request(loss):
+                    settle(loss)
+                    return loss
+            """,
+        })
+        findings = dataflow_paths([tmp_path])
+        assert [f.rule_id for f in findings] == [RULE_IMPURE_PREDICT]
+        assert "backward()" in findings[0].message
+
+    def test_state_writes_are_allowed_for_decorated_entries(self, tmp_path):
+        # the same closure under a predict* name IS flagged (full facets);
+        # the decorator grants exactly the state facet, nothing else
+        _write_tree(tmp_path, {
+            "server.py": """
+                from repro.analysis import inference_entry
+
+                class Server:
+                    @inference_entry
+                    def serve_request(self, x):
+                        self.requests = self.requests + 1
+                        return x
+            """,
+        })
+        assert dataflow_paths([tmp_path]) == []
+
+    def test_same_state_write_under_predict_name_still_flags(self, tmp_path):
+        _write_tree(tmp_path, {
+            "model.py": """
+                class Model:
+                    def predict(self, x):
+                        self.requests = self.requests + 1
+                        return x
+            """,
+        })
+        findings = dataflow_paths([tmp_path])
+        assert [f.rule_id for f in findings] == [RULE_IMPURE_PREDICT]
+
+    def test_runtime_marker_is_inert(self):
+        from repro.analysis import inference_entry
+
+        @inference_entry
+        def serve(x):
+            return x
+
+        assert serve(3) == 3
+        assert serve.__inference_entry__ is True
+
+    def test_shipped_serve_forward_is_an_entry(self):
+        graph = build_call_graph([SRC])
+        forecast = graph.functions[("serve.registry", "ModelVersion", "forecast_batch")]
+        assert forecast.is_entry(), "the serving forward must be purity-checked"
+        assert forecast.entry_facets() == frozenset({"rng", "backward"})
+
+
 # ----------------------------------------------------------------------
 # shipped tree + reporters + CLI
 # ----------------------------------------------------------------------

@@ -423,3 +423,110 @@ class TestCheckpointProperties:
         assert history.val_loss == baseline_history.val_loss
         for key, value in baseline_weights.items():
             np.testing.assert_array_equal(value, resumed.model.state_dict()[key], err_msg=key)
+
+
+class TestServingParityProperties:
+    """Micro-batching must be a pure perf optimization: the batched
+    forward's row ``i`` is element-wise identical to the forward of row
+    ``i`` alone, for every served model and both serving dtypes.  Exact
+    equality (not allclose) — numpy's elementwise kernels and reductions
+    over non-batch axes are deterministic per-row, and the window
+    assembly is a pure function of the series tail, so any difference
+    at all means the batch path changed the computation."""
+
+    @pytest.mark.serving
+    @pytest.mark.parametrize("model_name", ["conformer", "gru"])
+    @pytest.mark.parametrize("dtype", [np.float64, np.float32])
+    @given(seed=st.integers(0, 2**16))
+    @settings(max_examples=3, deadline=None)
+    def test_batched_forward_matches_one_by_one(self, model_name, dtype, seed):
+        from repro.serve import ModelRegistry, SeriesStore, ServingSpec
+        from repro.training.experiment import ExperimentSettings, build_model
+
+        settings_ = ExperimentSettings(input_len=16, label_len=8)
+        pred_len, n_dims, n_series = 4, 2, 3
+        spec = ServingSpec(
+            input_len=settings_.input_len,
+            label_len=settings_.label_len,
+            pred_len=pred_len,
+            n_dims=n_dims,
+        )
+
+        def factory():
+            return build_model(model_name, n_dims, n_dims, pred_len, settings_, seed=0)
+
+        registry = ModelRegistry(factory, spec, dtype=dtype)
+        version = registry.publish("v1", factory())
+        store = SeriesStore(n_dims=n_dims)
+        rng = np.random.default_rng(seed)
+        for i in range(n_series):
+            store.ingest(f"s{i}", rng.normal(size=(40, n_dims)))
+
+        windows = [
+            store.window(f"s{i}", spec.input_len, spec.label_len, spec.pred_len)
+            for i in range(n_series)
+        ]
+        # pad_to pins the BLAS kernel batch shape — without it a batch of
+        # one and a batch of three pick different gemm/gemv micro-kernels
+        # and drift in the last ulp (the serving paths always pin it)
+        batched = version.forecast_batch(
+            np.stack([w.x_enc for w in windows]),
+            np.stack([w.x_mark for w in windows]),
+            np.stack([w.x_dec for w in windows]),
+            np.stack([w.y_mark for w in windows]),
+            pad_to=n_series + 1,
+        )
+        for i, w in enumerate(windows):
+            alone = version.forecast_batch(
+                w.x_enc[None], w.x_mark[None], w.x_dec[None], w.y_mark[None], pad_to=n_series + 1
+            )[0]
+            np.testing.assert_array_equal(
+                batched[i], alone, err_msg=f"{model_name}/{np.dtype(dtype).name} series s{i}"
+            )
+
+    @pytest.mark.serving
+    @pytest.mark.parametrize("model_name", ["conformer", "gru"])
+    def test_server_batched_path_matches_unbatched_server(self, model_name):
+        """End-to-end version of the same property: a server coalescing 3
+        concurrent requests returns byte-identical forecasts to a server
+        answering them one at a time (cache off on both)."""
+        from repro.serve import ForecastServer, ManualClock, ModelRegistry, SeriesStore, ServingSpec
+        from repro.training.experiment import ExperimentSettings, build_model
+
+        settings_ = ExperimentSettings(input_len=16, label_len=8)
+        pred_len, n_dims, n_series = 4, 2, 3
+        spec = ServingSpec(
+            input_len=settings_.input_len,
+            label_len=settings_.label_len,
+            pred_len=pred_len,
+            n_dims=n_dims,
+        )
+
+        def factory():
+            return build_model(model_name, n_dims, n_dims, pred_len, settings_, seed=0)
+
+        def make_server(batching):
+            registry = ModelRegistry(factory, spec, dtype=np.float32)
+            registry.publish("v1", factory())
+            store = SeriesStore(n_dims=n_dims)
+            rng = np.random.default_rng(11)
+            for i in range(n_series):
+                store.ingest(f"s{i}", rng.normal(size=(40, n_dims)))
+            return ForecastServer(
+                registry, store, clock=ManualClock(), batching=batching,
+                cache_enabled=False, n_workers=1, max_batch=n_series,
+            )
+
+        serial_server = make_server(batching=False)
+        serial = {f"s{i}": serial_server.forecast(f"s{i}").forecast for i in range(n_series)}
+        serial_server.shutdown()
+
+        batched_server = make_server(batching=True)
+        try:
+            futures = [batched_server.submit(f"s{i}") for i in range(n_series)]
+            for i, future in enumerate(futures):
+                response = future.result(timeout=30)
+                assert response.ok and response.batch_size == n_series
+                np.testing.assert_array_equal(response.forecast, serial[f"s{i}"])
+        finally:
+            batched_server.shutdown()

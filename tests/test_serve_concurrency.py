@@ -1,0 +1,230 @@
+"""Concurrency and fault tests for the serving runtime.
+
+Two properties a serving system must not lose under load:
+
+1. **Conservation** — every submitted request resolves exactly once, as
+   exactly one response; nothing is dropped, nothing is answered twice.
+   (Futures make double-resolution an error by construction — a second
+   ``set_result`` raises inside the worker and would surface as a dead
+   shard — so asserting every future resolves covers both directions.)
+2. **Fault degradation** — a worker killed mid-flight (via the shared
+   :mod:`repro.ckpt.faults` machinery, injection point ``serve-batch``)
+   must strand nothing: in-flight and queued requests are re-served
+   through the unbatched degraded path, and later requests for the dead
+   shard fall back inline.
+
+Synchronization discipline: *no sleeps*.  Threads coordinate through
+futures, a start barrier, and the batcher's own condition variable; the
+deterministic fault tests additionally pin time with a ``ManualClock``
+so batches form only via the size trigger, making batch shapes exact.
+"""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import Future
+from typing import List
+
+import numpy as np
+import pytest
+
+from repro.ckpt.faults import inject_fault
+from repro.serve import (
+    ForecastServer,
+    ManualClock,
+    ModelRegistry,
+    SeriesStore,
+    ServingSpec,
+)
+from repro.training.experiment import ExperimentSettings, build_model
+
+pytestmark = pytest.mark.serving
+
+SETTINGS = ExperimentSettings(input_len=16, label_len=8)
+PRED_LEN = 4
+N_DIMS = 2
+
+
+def make_server(n_series: int = 6, seed: int = 0, **kwargs) -> ForecastServer:
+    spec = ServingSpec(
+        input_len=SETTINGS.input_len,
+        label_len=SETTINGS.label_len,
+        pred_len=PRED_LEN,
+        n_dims=N_DIMS,
+    )
+
+    def factory():
+        return build_model("gru", N_DIMS, N_DIMS, PRED_LEN, SETTINGS, seed=seed)
+
+    registry = ModelRegistry(factory, spec, dtype=np.float32)
+    registry.publish("v1", factory())
+    store = SeriesStore(n_dims=N_DIMS)
+    rng = np.random.default_rng(seed)
+    for i in range(n_series):
+        store.ingest(f"s{i}", rng.normal(size=(40, N_DIMS)))
+    return ForecastServer(registry, store, **kwargs)
+
+
+def series_for_shard(server: ForecastServer, shard: int, count: int = 1) -> List[str]:
+    """Series ids (from the store) routed to one specific worker shard."""
+    matches = [s for s in server.store.series_ids() if server.pool.shard(s) == shard]
+    assert len(matches) >= count, f"fixture needs {count} series on shard {shard}"
+    return matches[:count]
+
+
+class TestConcurrentLoad:
+    N_PRODUCERS = 4
+    REQUESTS_EACH = 25
+
+    def _stress(self, server: ForecastServer) -> List:
+        """Fire N_PRODUCERS x REQUESTS_EACH requests; return all futures."""
+        series = server.store.series_ids()
+        barrier = threading.Barrier(self.N_PRODUCERS)
+        futures: List[List[Future]] = [[] for _ in range(self.N_PRODUCERS)]
+
+        def produce(worker: int) -> None:
+            barrier.wait()  # maximize submit-time contention
+            for i in range(self.REQUESTS_EACH):
+                series_id = series[(worker + i) % len(series)]
+                futures[worker].append(server.submit(series_id))
+
+        threads = [
+            threading.Thread(target=produce, args=(t,), name=f"producer-{t}")
+            for t in range(self.N_PRODUCERS)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        return [f for per_producer in futures for f in per_producer]
+
+    def test_no_dropped_or_duplicated_responses(self):
+        server = make_server(n_workers=3, max_batch=4, max_delay=0.002)
+        try:
+            futures = self._stress(server)
+            total = self.N_PRODUCERS * self.REQUESTS_EACH
+            assert len(futures) == total
+            responses = [f.result(timeout=30) for f in futures]
+            assert all(r.ok for r in responses), [r.error for r in responses if not r.ok][:3]
+            # conservation: one response per request, accounted exactly once
+            # across the three serving paths
+            computed = sum(1 for r in responses if not r.cached)
+            cached = sum(1 for r in responses if r.cached)
+            assert computed + cached == total
+            stats = server.pool.stats()
+            assert stats["crashes"] == 0 and stats["batch_errors"] == 0
+            # every batch-path delivery is visible in the shard counters
+            batched = sum(1 for r in responses if not r.cached and not r.degraded)
+            coalesced = sum(shard["coalesced"] for shard in stats["shards"])
+            expired = server.timeouts
+            assert coalesced == batched + expired
+        finally:
+            server.shutdown()
+        assert server.requests == self.N_PRODUCERS * self.REQUESTS_EACH
+
+    def test_stress_with_mid_run_worker_kill_serves_every_request(self):
+        server = make_server(n_workers=2, max_batch=4, max_delay=0.002, cache_enabled=False)
+        try:
+            # arm the crash for the third batched forward: it fires in the
+            # middle of the run, with requests in flight and queued behind
+            with inject_fault("serve-batch:2") as plan:
+                futures = self._stress(server)
+                responses = [f.result(timeout=30) for f in futures]
+            assert plan.fired, "the load must actually reach the third batch"
+            assert len(responses) == self.N_PRODUCERS * self.REQUESTS_EACH
+            assert all(r.ok for r in responses), [r.error for r in responses if not r.ok][:3]
+            assert server.pool.stats()["crashes"] >= 1
+            assert server.pool.alive_count() < 2
+            assert any(r.degraded for r in responses), "the dead shard's work went degraded"
+        finally:
+            server.shutdown()
+
+
+class TestWorkerCrashDeterministic:
+    """Exact-shape fault tests: ManualClock pins batches to the size trigger."""
+
+    def test_killed_worker_rescues_inflight_and_queued(self):
+        server = make_server(
+            clock=ManualClock(), n_workers=2, max_batch=4, max_delay=1.0, cache_enabled=False
+        )
+        try:
+            victim_series = series_for_shard(server, shard=0)[0]
+            with inject_fault("serve-batch") as plan:
+                # 6 requests, batch trigger at 4: the crash hits a batch of 4
+                # in flight with 2 still queued behind it on the same shard
+                futures = [server.submit(victim_series) for _ in range(6)]
+                responses = [f.result(timeout=30) for f in futures]
+            assert plan.fired
+            assert [r.status for r in responses] == ["ok"] * 6
+            assert all(r.degraded for r in responses), "all six re-served unbatched"
+            assert all(r.batch_size == 1 for r in responses)
+            assert server.pool.crashes == 1
+            assert server.pool.alive_count() == 1
+            assert not server.pool.is_alive(0)
+        finally:
+            server.shutdown()
+
+    def test_dead_shard_falls_back_inline_while_other_shard_batches(self):
+        server = make_server(
+            clock=ManualClock(), n_workers=2, max_batch=4, max_delay=1.0, cache_enabled=False
+        )
+        try:
+            victim = series_for_shard(server, shard=0)[0]
+            survivor = series_for_shard(server, shard=1)[0]
+            with inject_fault("serve-batch"):
+                for f in [server.submit(victim) for _ in range(4)]:
+                    assert f.result(timeout=30).ok
+            # the dead shard now serves inline on the submitting thread
+            late = server.forecast(victim)
+            assert late.ok and late.degraded and late.batch_size == 1
+            # the surviving worker still micro-batches (fault fires once)
+            futures = [server.submit(survivor) for _ in range(4)]
+            responses = [f.result(timeout=30) for f in futures]
+            assert all(r.ok and not r.degraded and r.batch_size == 4 for r in responses)
+            assert server.pool.crashes == 1
+        finally:
+            server.shutdown()
+
+    def test_handler_error_fails_over_without_killing_the_worker(self):
+        server = make_server(
+            clock=ManualClock(), n_workers=1, max_batch=2, max_delay=1.0, cache_enabled=False
+        )
+        try:
+            original = server.registry.current().forecast_batch
+            calls = {"n": 0}
+
+            def flaky(*args, **kwargs):
+                calls["n"] += 1
+                if calls["n"] == 1:
+                    raise RuntimeError("transient batch failure")
+                return original(*args, **kwargs)
+
+            server.registry.current().forecast_batch = flaky
+            futures = [server.submit("s0"), server.submit("s1")]
+            responses = [f.result(timeout=30) for f in futures]
+            # both requests survived via the degraded retry, and the worker
+            # is still alive and batching
+            assert all(r.ok and r.degraded for r in responses)
+            assert server.pool.batch_errors == 1
+            assert server.pool.alive_count() == 1
+        finally:
+            server.shutdown()
+
+    def test_shutdown_drains_dead_shard_queues(self):
+        server = make_server(
+            clock=ManualClock(), n_workers=1, max_batch=4, max_delay=1.0, cache_enabled=False
+        )
+        victim = series_for_shard(server, shard=0)[0]
+        with inject_fault("serve-batch"):
+            for f in [server.submit(victim) for _ in range(4)]:
+                assert f.result(timeout=30).ok
+        # the lone worker is dead; pool.submit refuses, so new submits are
+        # served inline — but force one into the dead queue directly to
+        # prove close() rescues stragglers a crashed worker never saw
+        from repro.serve import PendingRequest
+
+        stranded = PendingRequest(series_id=victim, horizon=PRED_LEN, enqueued_at=0.0)
+        server.pool.batchers[0]._queue.append(stranded)
+        server.shutdown()
+        response = stranded.future.result(timeout=30)
+        assert response.ok and response.degraded
